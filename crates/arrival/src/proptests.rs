@@ -1,0 +1,97 @@
+//! Property-based tests of pattern generation invariants.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use crate::pattern::{parse_pattern_file, render_pattern_file, ArrivalPattern};
+use crate::shapes::{generate, Shape};
+
+fn any_shape() -> impl Strategy<Value = Shape> {
+    prop_oneof![
+        Just(Shape::NoDelay),
+        Just(Shape::Ascending),
+        Just(Shape::Descending),
+        Just(Shape::Random),
+        Just(Shape::LastDelayed),
+        Just(Shape::FirstDelayed),
+        Just(Shape::VShape),
+        Just(Shape::InvertedV),
+        Just(Shape::HalfStep),
+    ]
+}
+
+proptest! {
+    /// For any shape, process count and skew: delays are finite, bounded by
+    /// the skew, and (for p > 1, s > 0, non-NoDelay) span exactly [0, s].
+    #[test]
+    fn generated_patterns_are_bounded(
+        shape in any_shape(),
+        p in 1usize..300,
+        skew_us in 0.0f64..1e6,
+        seed in any::<u64>(),
+    ) {
+        let s = skew_us * 1e-6;
+        let pat = generate(shape, p, s, seed);
+        prop_assert_eq!(pat.len(), p);
+        for &d in &pat.delays {
+            prop_assert!(d.is_finite() && d >= 0.0 && d <= s + 1e-12);
+        }
+        // V shapes are degenerate (all-equal, hence all-zero) at p = 2.
+        let degenerate_v = matches!(shape, Shape::VShape | Shape::InvertedV) && p < 3;
+        if shape != Shape::NoDelay && p > 1 && s > 0.0 && !degenerate_v {
+            prop_assert!((pat.max_skew() - s).abs() < s * 1e-9 + 1e-18);
+            let min = pat.delays.iter().copied().fold(f64::INFINITY, f64::min);
+            prop_assert!(min.abs() < s * 1e-9 + 1e-18, "min {min}");
+        }
+    }
+
+    /// Rescaling reaches the target skew exactly and preserves delay shape
+    /// (ratios).
+    #[test]
+    fn rescale_preserves_shape(
+        shape in any_shape(),
+        p in 2usize..100,
+        target_us in 0.1f64..1e5,
+        seed in any::<u64>(),
+    ) {
+        let pat = generate(shape, p, 1e-3, seed);
+        let target = target_us * 1e-6;
+        let r = pat.rescaled(target);
+        if pat.max_skew() > 0.0 {
+            prop_assert!((r.max_skew() - target).abs() < target * 1e-9);
+            // Ordering of ranks by delay is preserved.
+            let ord = |v: &[f64]| {
+                let mut idx: Vec<usize> = (0..v.len()).collect();
+                idx.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).unwrap().then(a.cmp(&b)));
+                idx
+            };
+            prop_assert_eq!(ord(&pat.delays), ord(&r.delays));
+        }
+    }
+
+    /// The pattern file format round-trips with nanosecond fidelity.
+    #[test]
+    fn file_round_trip(
+        shape in any_shape(),
+        p in 1usize..150,
+        skew_us in 0.0f64..1e5,
+        seed in any::<u64>(),
+    ) {
+        let pat = generate(shape, p, skew_us * 1e-6, seed);
+        let text = render_pattern_file(&pat);
+        let back = parse_pattern_file(&pat.name, &text).unwrap();
+        prop_assert_eq!(back.len(), p);
+        for (a, b) in pat.delays.iter().zip(&back.delays) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// Mean delay is always within [0, max_skew].
+    #[test]
+    fn mean_within_bounds(delays in proptest::collection::vec(0.0f64..1.0, 1..200)) {
+        let pat = ArrivalPattern::new("t", delays);
+        prop_assert!(pat.mean_delay() >= 0.0);
+        prop_assert!(pat.mean_delay() <= pat.max_skew() + 1e-15);
+    }
+}

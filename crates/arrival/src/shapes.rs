@@ -1,0 +1,262 @@
+//! The artificial arrival-pattern shapes of Fig. 3 and their generator.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::pattern::ArrivalPattern;
+
+/// The eight artificial shapes of Fig. 3, plus the `NoDelay` baseline used
+/// by conventional micro-benchmarks.
+///
+/// Given `p` processes and a maximum skew `s`, each shape maps rank `i` to a
+/// delay in `[0, s]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Shape {
+    /// All processes arrive simultaneously (the conventional benchmark
+    /// setting; not one of the eight artificial patterns).
+    NoDelay,
+    /// Delay grows linearly with rank: `s · i/(p-1)`.
+    Ascending,
+    /// Delay shrinks linearly with rank: `s · (p-1-i)/(p-1)`.
+    Descending,
+    /// Uniformly random delays, normalized to span exactly `[0, s]`.
+    Random,
+    /// Only the last rank is delayed by `s`.
+    LastDelayed,
+    /// Only rank 0 is delayed by `s`.
+    FirstDelayed,
+    /// Extremes late, middle early: `s · |2i-(p-1)|/(p-1)`.
+    VShape,
+    /// Middle late, extremes early: `s · (1 - |2i-(p-1)|/(p-1))`.
+    InvertedV,
+    /// First half on time, second half delayed by `s` (a step).
+    HalfStep,
+}
+
+impl Shape {
+    /// The eight artificial shapes of Fig. 3 (excludes [`Shape::NoDelay`]).
+    pub const ARTIFICIAL: [Shape; 8] = [
+        Shape::Ascending,
+        Shape::Descending,
+        Shape::Random,
+        Shape::LastDelayed,
+        Shape::FirstDelayed,
+        Shape::VShape,
+        Shape::InvertedV,
+        Shape::HalfStep,
+    ];
+
+    /// `NoDelay` followed by the eight artificial shapes — the full suite a
+    /// micro-benchmark sweep iterates over.
+    pub const SUITE: [Shape; 9] = [
+        Shape::NoDelay,
+        Shape::Ascending,
+        Shape::Descending,
+        Shape::Random,
+        Shape::LastDelayed,
+        Shape::FirstDelayed,
+        Shape::VShape,
+        Shape::InvertedV,
+        Shape::HalfStep,
+    ];
+
+    /// Name used in figures and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Shape::NoDelay => "no_delay",
+            Shape::Ascending => "ascending",
+            Shape::Descending => "descending",
+            Shape::Random => "random",
+            Shape::LastDelayed => "last_delayed",
+            Shape::FirstDelayed => "first_delayed",
+            Shape::VShape => "v_shape",
+            Shape::InvertedV => "inverted_v",
+            Shape::HalfStep => "half_step",
+        }
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Shape {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Shape::SUITE
+            .iter()
+            .copied()
+            .find(|sh| sh.name() == s)
+            .ok_or_else(|| format!("unknown arrival-pattern shape '{s}'"))
+    }
+}
+
+/// Generate a concrete arrival pattern: `p` per-rank delays with maximum
+/// process skew `max_skew` (seconds), following `shape`.
+///
+/// The `seed` only matters for [`Shape::Random`]; all other shapes are
+/// deterministic. Delays are clamped to `[0, max_skew]`, and for every shape
+/// other than `NoDelay` (with `p > 1` and `max_skew > 0`) at least one rank
+/// has delay exactly `max_skew` and at least one has exactly `0` — except
+/// the V shapes at `p = 2`, which are degenerate (no distinct apex) and
+/// collapse to all-zero.
+///
+/// # Panics
+/// Panics if `p == 0` or `max_skew < 0`.
+pub fn generate(shape: Shape, p: usize, max_skew: f64, seed: u64) -> ArrivalPattern {
+    assert!(p > 0, "pattern needs at least one process");
+    assert!(max_skew >= 0.0, "negative max skew");
+    let s = max_skew;
+    let delays: Vec<f64> = match shape {
+        Shape::NoDelay => vec![0.0; p],
+        _ if p == 1 => vec![0.0],
+        Shape::Ascending => (0..p).map(|i| s * i as f64 / (p - 1) as f64).collect(),
+        Shape::Descending => (0..p).map(|i| s * (p - 1 - i) as f64 / (p - 1) as f64).collect(),
+        Shape::Random => {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let raw: Vec<f64> = (0..p).map(|_| rng.gen::<f64>()).collect();
+            let lo = raw.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = raw.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            if hi > lo {
+                raw.iter().map(|&x| s * (x - lo) / (hi - lo)).collect()
+            } else {
+                vec![0.0; p]
+            }
+        }
+        Shape::LastDelayed => {
+            let mut v = vec![0.0; p];
+            v[p - 1] = s;
+            v
+        }
+        Shape::FirstDelayed => {
+            let mut v = vec![0.0; p];
+            v[0] = s;
+            v
+        }
+        // For even p the raw V profiles span [1/(p-1), 1] (no rank sits at
+        // the exact apex), so normalize to span exactly [0, s].
+        Shape::VShape => span_normalize(
+            (0..p).map(|i| ((2 * i) as f64 - (p - 1) as f64).abs()).collect(),
+            s,
+        ),
+        Shape::InvertedV => span_normalize(
+            (0..p).map(|i| -((2 * i) as f64 - (p - 1) as f64).abs()).collect(),
+            s,
+        ),
+        Shape::HalfStep => (0..p).map(|i| if i < p / 2 { 0.0 } else { s }).collect(),
+    };
+    ArrivalPattern::new(shape.name(), delays)
+}
+
+/// Affinely map a raw profile onto `[0, s]` (identity shape, exact span).
+fn span_normalize(raw: Vec<f64>, s: f64) -> Vec<f64> {
+    let lo = raw.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = raw.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if hi > lo {
+        raw.iter().map(|&x| s * (x - lo) / (hi - lo)).collect()
+    } else {
+        vec![0.0; raw.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for sh in Shape::SUITE {
+            let parsed: Shape = sh.name().parse().unwrap();
+            assert_eq!(parsed, sh);
+        }
+        assert!("bogus".parse::<Shape>().is_err());
+    }
+
+    #[test]
+    fn all_artificial_shapes_span_zero_to_s() {
+        let p = 33;
+        let s = 1e-3;
+        for sh in Shape::ARTIFICIAL {
+            let pat = generate(sh, p, s, 7);
+            let max = pat.max_skew();
+            let min = pat.delays.iter().copied().fold(f64::INFINITY, f64::min);
+            assert!((max - s).abs() < 1e-12, "{sh}: max {max}");
+            assert!(min.abs() < 1e-15, "{sh}: min {min}");
+            assert!(pat.delays.iter().all(|&d| (-1e-15..=s + 1e-12).contains(&d)), "{sh} out of range");
+        }
+    }
+
+    #[test]
+    fn no_delay_is_all_zero() {
+        let pat = generate(Shape::NoDelay, 16, 5.0, 0);
+        assert!(pat.delays.iter().all(|&d| d == 0.0));
+        assert_eq!(pat.max_skew(), 0.0);
+    }
+
+    #[test]
+    fn ascending_is_monotone_descending_reversed() {
+        let a = generate(Shape::Ascending, 10, 1.0, 0);
+        assert!(a.delays.windows(2).all(|w| w[0] <= w[1]));
+        let d = generate(Shape::Descending, 10, 1.0, 0);
+        let mut rev = d.delays.clone();
+        rev.reverse();
+        assert_eq!(a.delays, rev);
+    }
+
+    #[test]
+    fn last_and_first_delayed_touch_one_rank() {
+        let l = generate(Shape::LastDelayed, 8, 2.0, 0);
+        assert_eq!(l.delays.iter().filter(|&&d| d > 0.0).count(), 1);
+        assert_eq!(l.delays[7], 2.0);
+        let f = generate(Shape::FirstDelayed, 8, 2.0, 0);
+        assert_eq!(f.delays[0], 2.0);
+        assert!(f.delays[1..].iter().all(|&d| d == 0.0));
+    }
+
+    #[test]
+    fn v_shape_and_inverted_v_are_complements() {
+        let p = 11;
+        let v = generate(Shape::VShape, p, 1.0, 0);
+        let iv = generate(Shape::InvertedV, p, 1.0, 0);
+        for i in 0..p {
+            assert!((v.delays[i] + iv.delays[i] - 1.0).abs() < 1e-12);
+        }
+        // V-shape: middle rank earliest.
+        assert!(v.delays[p / 2] < v.delays[0]);
+    }
+
+    #[test]
+    fn half_step_splits_at_midpoint() {
+        let pat = generate(Shape::HalfStep, 9, 1.0, 0);
+        assert!(pat.delays[..4].iter().all(|&d| d == 0.0));
+        assert!(pat.delays[4..].iter().all(|&d| d == 1.0));
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let a = generate(Shape::Random, 64, 1.0, 11);
+        let b = generate(Shape::Random, 64, 1.0, 11);
+        let c = generate(Shape::Random, 64, 1.0, 12);
+        assert_eq!(a.delays, b.delays);
+        assert_ne!(a.delays, c.delays);
+    }
+
+    #[test]
+    fn single_process_degenerates_to_zero() {
+        for sh in Shape::SUITE {
+            let pat = generate(sh, 1, 1.0, 0);
+            assert_eq!(pat.delays, vec![0.0]);
+        }
+    }
+
+    #[test]
+    fn zero_skew_is_all_zero() {
+        for sh in Shape::SUITE {
+            let pat = generate(sh, 8, 0.0, 0);
+            assert!(pat.delays.iter().all(|&d| d == 0.0), "{sh}");
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! eager/rendezvous threshold, NIC serialization, noise model, and segment
+//! size. These measure *simulated collective time* (the model output), not
+//! wall-clock — Criterion's statistics quantify the run-to-run stability of
+//! each configuration's execution cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pap_collectives::{build, CollSpec, CollectiveKind};
+use pap_sim::{run, Job, NoiseModel, Platform, RankProgram, SimConfig};
+
+fn simulate(platform: &Platform, spec: &CollSpec, cfg: &SimConfig) -> f64 {
+    let built = build(spec, platform.ranks).unwrap();
+    let programs = built.rank_ops.into_iter().map(RankProgram::from_ops).collect();
+    run(platform, Job::new(programs), cfg).unwrap().makespan()
+}
+
+/// Ablation 1: eager threshold flips the Alltoall protocol regime.
+fn bench_eager_threshold(c: &mut Criterion) {
+    let p = 64;
+    let mut g = c.benchmark_group("ablation/eager_threshold");
+    g.sample_size(15);
+    for &thresh in &[1024u64, 16 * 1024, 256 * 1024] {
+        let mut platform = Platform::simcluster(p);
+        platform.eager_threshold = thresh;
+        let spec = CollSpec::new(CollectiveKind::Alltoall, 2, 32 * 1024);
+        g.bench_with_input(BenchmarkId::from_parameter(thresh), &thresh, |bch, _| {
+            bch.iter(|| simulate(&platform, &spec, &SimConfig::default()));
+        });
+    }
+    g.finish();
+}
+
+/// Ablation 2: NIC serialization on/off — the contention model that
+/// separates linear from pairwise Alltoall.
+fn bench_nic_serialization(c: &mut Criterion) {
+    let p = 64;
+    let mut g = c.benchmark_group("ablation/nic_serialization");
+    g.sample_size(15);
+    for on in [true, false] {
+        let mut platform = Platform::simcluster(p);
+        platform.nic_serialization = on;
+        let spec = CollSpec::new(CollectiveKind::Alltoall, 1, 8 * 1024);
+        g.bench_with_input(BenchmarkId::from_parameter(on), &on, |bch, _| {
+            bch.iter(|| simulate(&platform, &spec, &SimConfig::default()));
+        });
+    }
+    g.finish();
+}
+
+/// Ablation 3: noise models (none / gaussian / heavy-tail).
+fn bench_noise_models(c: &mut Criterion) {
+    let p = 64;
+    let platform = Platform::simcluster(p);
+    let spec = CollSpec::new(CollectiveKind::Reduce, 5, 32 * 1024);
+    let mut g = c.benchmark_group("ablation/noise");
+    g.sample_size(20);
+    for (name, noise) in [
+        ("none", NoiseModel::None),
+        ("gaussian", NoiseModel::gaussian(0.02)),
+        ("heavy_tail", NoiseModel::heavy_tail(0.02, 5.0, 1e-3)),
+    ] {
+        let cfg = SimConfig { noise, ..SimConfig::default() };
+        g.bench_function(name, |bch| bch.iter(|| simulate(&platform, &spec, &cfg)));
+    }
+    g.finish();
+}
+
+/// Ablation 4: segment size of segmented algorithms (pipeline reduce).
+fn bench_segment_size(c: &mut Criterion) {
+    let p = 64;
+    let platform = Platform::simcluster(p);
+    let mut g = c.benchmark_group("ablation/segment_size");
+    g.sample_size(15);
+    for &seg in &[1024u64, 8192, 65536] {
+        let spec = CollSpec::new(CollectiveKind::Reduce, 3, 256 * 1024).with_seg_bytes(seg);
+        g.bench_with_input(BenchmarkId::from_parameter(seg), &seg, |bch, _| {
+            bch.iter(|| simulate(&platform, &spec, &SimConfig::default()));
+        });
+    }
+    g.finish();
+}
+
+/// Ablation 5: HCA3 drift regression vs offset-only sync — estimator cost
+/// and (printed once) residual accuracy at t = 60 s.
+fn bench_clock_sync(c: &mut Criterion) {
+    use pap_clocksync::{sync_cluster, sync_cluster_offset_only, ClusterClocks, Hca3Config};
+    let clocks = ClusterClocks::realistic(36, 7);
+    let cfg = Hca3Config::default();
+    let mut g = c.benchmark_group("ablation/clock_sync");
+    g.bench_function("hca3_drift_regressed", |b| b.iter(|| sync_cluster(&clocks, &cfg, 7)));
+    g.bench_function("offset_only", |b| b.iter(|| sync_cluster_offset_only(&clocks, &cfg, 7)));
+    g.finish();
+}
+
+/// Ablation 6: static binomial vs arrival-aware adaptive reduce under a
+/// known ascending pattern (simulated d̂ is the model output; Criterion
+/// measures the cost of building + simulating each).
+fn bench_adaptive_reduce(c: &mut Criterion) {
+    use pap_collectives::build_arrival_aware_reduce;
+    use pap_sim::{Job, Op, RankProgram};
+    let p = 64;
+    let platform = Platform::simcluster(p);
+    let delays: Vec<f64> = (0..p).map(|r| 1e-3 * r as f64 / (p - 1) as f64).collect();
+    let spec_static = CollSpec::new(CollectiveKind::Reduce, 5, 1024);
+    let run_with = |built: pap_collectives::Built| {
+        let programs = built
+            .rank_ops
+            .into_iter()
+            .enumerate()
+            .map(|(r, ops)| {
+                let mut prog = RankProgram::new();
+                prog.push_anon(vec![Op::delay(delays[r])]);
+                prog.push_anon(ops);
+                prog
+            })
+            .collect();
+        run(&platform, Job::new(programs), &SimConfig::default()).unwrap().makespan()
+    };
+    let mut g = c.benchmark_group("ablation/adaptive_reduce");
+    g.bench_function("static_binomial", |b| {
+        b.iter(|| run_with(build(&spec_static, p).unwrap()))
+    });
+    g.bench_function("skew_ladder", |b| {
+        b.iter(|| run_with(build_arrival_aware_reduce(&spec_static, p, &delays).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_eager_threshold,
+    bench_nic_serialization,
+    bench_noise_models,
+    bench_segment_size,
+    bench_clock_sync,
+    bench_adaptive_reduce
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benches: schedule generation and simulated execution per
+//! collective algorithm (one group per Table II family — these are the
+//! micro-kernels behind every figure).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pap_collectives::registry::experiment_ids;
+use pap_collectives::{build, CollSpec, CollectiveKind};
+use pap_sim::{run, Job, Platform, RankProgram, SimConfig};
+
+fn bench_ids(kind: CollectiveKind) -> Vec<u8> {
+    match kind {
+        CollectiveKind::Allgather => {
+            pap_collectives::registry::algorithms(kind).iter().map(|a| a.id).collect()
+        }
+        _ => experiment_ids(kind),
+    }
+}
+
+fn run_collective(platform: &Platform, spec: &CollSpec) {
+    let built = build(spec, platform.ranks).unwrap();
+    let programs = built.rank_ops.into_iter().map(RankProgram::from_ops).collect();
+    run(platform, Job::new(programs), &SimConfig::default()).unwrap();
+}
+
+const BENCH_KINDS: [CollectiveKind; 4] = [
+    CollectiveKind::Reduce,
+    CollectiveKind::Allreduce,
+    CollectiveKind::Alltoall,
+    CollectiveKind::Allgather,
+];
+
+fn bench_schedule_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedule_gen");
+    let p = 256;
+    for kind in BENCH_KINDS {
+        for alg in bench_ids(kind) {
+            let spec = CollSpec::new(kind, alg, 32 * 1024);
+            g.bench_with_input(
+                BenchmarkId::new(kind.name(), format!("A{alg}")),
+                &spec,
+                |bch, spec| bch.iter(|| build(spec, p).unwrap()),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_simulated_execution(c: &mut Criterion) {
+    let p = 64;
+    let platform = Platform::simcluster(p);
+    for kind in BENCH_KINDS {
+        let mut g = c.benchmark_group(format!("simulate/{}", kind.name()));
+        g.sample_size(20);
+        for alg in bench_ids(kind) {
+            for bytes in [8u64, 32 * 1024] {
+                let spec = CollSpec::new(kind, alg, bytes);
+                g.bench_with_input(
+                    BenchmarkId::new(format!("A{alg}"), bytes),
+                    &spec,
+                    |bch, spec| bch.iter(|| run_collective(&platform, spec)),
+                );
+            }
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_schedule_generation, bench_simulated_execution);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion benches of the simulator hot paths: event throughput,
+//! point-to-point pipelines, matching under load.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pap_sim::{run, Job, Op, Platform, RankProgram, SimConfig};
+
+/// Ping-pong chain: 2 ranks, `n` round trips.
+fn ping_pong_job(n: usize, bytes: u64) -> Job {
+    let mut a = Vec::with_capacity(2 * n);
+    let mut b = Vec::with_capacity(2 * n);
+    for i in 0..n as u64 {
+        a.push(Op::send(1, 2 * i, bytes, 0));
+        a.push(Op::recv(1, 2 * i + 1, 0));
+        b.push(Op::recv(0, 2 * i, 0));
+        b.push(Op::send(0, 2 * i + 1, bytes, 0));
+    }
+    Job::new(vec![RankProgram::from_ops(a), RankProgram::from_ops(b)])
+}
+
+fn bench_ping_pong(c: &mut Criterion) {
+    let platform = Platform::simcluster(2);
+    let mut g = c.benchmark_group("engine/ping_pong");
+    for &n in &[1_000usize, 10_000] {
+        g.throughput(Throughput::Elements(2 * n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, &n| {
+            bch.iter(|| run(&platform, ping_pong_job(n, 64), &SimConfig::default()).unwrap());
+        });
+    }
+    g.finish();
+}
+
+/// Incast: p-1 senders to rank 0 (stresses NIC serialization + matching).
+fn incast_job(p: usize, bytes: u64) -> Job {
+    let mut programs = vec![RankProgram::new(); p];
+    let mut ops0 = Vec::new();
+    for s in 1..p {
+        ops0.push(Op::irecv(s, s as u64, 0, s - 1));
+    }
+    ops0.push(Op::waitall((0..p - 1).collect()));
+    programs[0] = RankProgram::from_ops(ops0);
+    for (s, prog) in programs.iter_mut().enumerate().skip(1) {
+        *prog = RankProgram::from_ops(vec![Op::send(0, s as u64, bytes, 0)]);
+    }
+    Job::new(programs)
+}
+
+fn bench_incast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/incast");
+    for &p in &[64usize, 256] {
+        let platform = Platform::simcluster(p);
+        g.throughput(Throughput::Elements(p as u64 - 1));
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |bch, &p| {
+            bch.iter(|| run(&platform, incast_job(p, 1024), &SimConfig::default()).unwrap());
+        });
+    }
+    g.finish();
+}
+
+/// Rendezvous vs eager protocol overhead at the same message count.
+fn bench_protocols(c: &mut Criterion) {
+    let platform = Platform::simcluster(2);
+    let mut g = c.benchmark_group("engine/protocol");
+    for (name, bytes) in [("eager", 1024u64), ("rendezvous", 64 * 1024)] {
+        g.bench_function(name, |bch| {
+            bch.iter(|| run(&platform, ping_pong_job(1_000, bytes), &SimConfig::default()).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ping_pong, bench_incast, bench_protocols);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! End-to-end pipeline benches: the full measurement loop (harmonize +
+//! pattern + collective + stats) and the selection pipeline — the cost of
+//! regenerating one figure cell.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pap_arrival::{generate, Shape};
+use pap_collectives::{CollSpec, CollectiveKind};
+use pap_core::{select, BenchMatrix, SelectionPolicy};
+use pap_microbench::{measure, sweep, BenchConfig, SkewPolicy};
+use pap_sim::Platform;
+
+fn bench_measure_cell(c: &mut Criterion) {
+    let platform = Platform::hydra(64);
+    let spec = CollSpec::new(CollectiveKind::Alltoall, 3, 1024);
+    let pat = generate(Shape::Ascending, 64, 1e-4, 1);
+    let cfg = BenchConfig::real_machine(3);
+    c.bench_function("pipeline/measure_cell", |b| {
+        b.iter(|| measure(&platform, &spec, &pat, &cfg).unwrap());
+    });
+}
+
+fn bench_selection_pipeline(c: &mut Criterion) {
+    let platform = Platform::simcluster(32);
+    let cfg = BenchConfig::simulation();
+    let shapes = [Shape::NoDelay, Shape::Ascending, Shape::LastDelayed, Shape::Random];
+    c.bench_function("pipeline/sweep_and_select", |b| {
+        b.iter(|| {
+            let sw = sweep(
+                &platform,
+                CollectiveKind::Reduce,
+                &[1, 5, 6],
+                &shapes,
+                1024,
+                SkewPolicy::FactorOfAvg(1.5),
+                &[],
+                &cfg,
+            )
+            .unwrap();
+            let m = BenchMatrix::from_sweep(&sw);
+            select(&m, &SelectionPolicy::robust()).unwrap()
+        });
+    });
+}
+
+criterion_group!(benches, bench_measure_cell, bench_selection_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Extension experiment: Allgather arrival-pattern sensitivity study.
+use pap_bench::Scale;
+fn main() {
+    let scale = Scale::from_args(&std::env::args().skip(1).collect::<Vec<_>>());
+    print!("{}", pap_bench::ext_allgather(scale));
+}

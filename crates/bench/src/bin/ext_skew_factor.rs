@@ -1,0 +1,6 @@
+//! Extension experiment: §III-B skew-factor ablation.
+use pap_bench::Scale;
+fn main() {
+    let scale = Scale::from_args(&std::env::args().skip(1).collect::<Vec<_>>());
+    print!("{}", pap_bench::ext_skew_factor(scale));
+}

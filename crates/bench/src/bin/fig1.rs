@@ -1,0 +1,6 @@
+//! Regenerates Fig. 1: FT Alltoall arrival-delay profile on Galileo100.
+use pap_bench::Scale;
+fn main() {
+    let scale = Scale::from_args(&std::env::args().skip(1).collect::<Vec<_>>());
+    print!("{}", pap_bench::fig1(scale));
+}

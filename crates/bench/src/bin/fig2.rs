@@ -1,0 +1,4 @@
+//! Regenerates Fig. 2: example arrival pattern with 8 processes.
+fn main() {
+    print!("{}", pap_bench::fig2());
+}

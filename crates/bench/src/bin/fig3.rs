@@ -1,0 +1,4 @@
+//! Regenerates Fig. 3: the eight artificial arrival-pattern shapes.
+fn main() {
+    print!("{}", pap_bench::fig3());
+}

@@ -1,0 +1,18 @@
+//! Regenerates Fig. 4 (simulation study). Optional first arg:
+//! reduce|allreduce|alltoall (default: all three).
+use pap_bench::Scale;
+use pap_collectives::CollectiveKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_args(&args);
+    let kinds: Vec<CollectiveKind> = args
+        .iter()
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let kinds = if kinds.is_empty() { CollectiveKind::PAPER.to_vec() } else { kinds };
+    for kind in kinds {
+        print!("{}", pap_bench::fig4(kind, scale));
+        println!();
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 7 of the paper.
+use pap_bench::Scale;
+fn main() {
+    let scale = Scale::from_args(&std::env::args().skip(1).collect::<Vec<_>>());
+    print!("{}", pap_bench::fig7(scale));
+}

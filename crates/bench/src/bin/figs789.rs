@@ -1,0 +1,7 @@
+//! Regenerates Figs. 7, 8, and 9 in one pass (the per-machine study is
+//! shared, saving ~3x over running the individual binaries).
+use pap_bench::Scale;
+fn main() {
+    let scale = Scale::from_args(&std::env::args().skip(1).collect::<Vec<_>>());
+    print!("{}", pap_bench::figs789(scale));
+}

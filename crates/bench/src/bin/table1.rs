@@ -1,0 +1,4 @@
+//! Regenerates Table I (machine characteristics).
+fn main() {
+    print!("{}", pap_bench::table1());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table II (algorithm IDs and names).
+fn main() {
+    print!("{}", pap_bench::table2());
+}

@@ -1,0 +1,73 @@
+//! `MPI_Barrier`: dissemination barrier (used by the harness's harmonized
+//! starts and by "linear with sync"-style pacing).
+
+use pap_sim::Op;
+
+use crate::spec::{BuildError, Built, CollSpec};
+
+/// Build the barrier schedules. Dispatched from [`crate::build`].
+pub(crate) fn build(spec: &CollSpec, p: usize) -> Result<Built, BuildError> {
+    match spec.alg {
+        1 => Ok(dissemination(spec, p)),
+        id => Err(BuildError::UnknownAlgorithm(spec.kind, id)),
+    }
+}
+
+/// Dissemination barrier: `ceil(log2 p)` rounds; in round `k` rank `i`
+/// signals `(i + 2^k) mod p` and waits for a signal from `(i - 2^k) mod p`.
+fn dissemination(spec: &CollSpec, p: usize) -> Built {
+    let mut rank_ops = Vec::with_capacity(p);
+    for me in 0..p {
+        let mut ops = Vec::new();
+        let mut k = 0u32;
+        while (1usize << k) < p {
+            let d = 1usize << k;
+            let to = (me + d) % p;
+            let from = (me + p - d) % p;
+            let tag = spec.tag_base + k as u64;
+            ops.push(Op::isend(to, tag, 1, 0, 0));
+            ops.push(Op::irecv(from, tag, 1, 1));
+            ops.push(Op::waitall(vec![0, 1]));
+            k += 1;
+        }
+        rank_ops.push(ops);
+    }
+    Built { rank_ops, nseg: 0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::CollectiveKind;
+    use pap_sim::{run, Job, Platform, RankProgram, SimConfig};
+
+    #[test]
+    fn round_counts() {
+        let spec = CollSpec::new(CollectiveKind::Barrier, 1, 0);
+        for (p, rounds) in [(1usize, 0usize), (2, 1), (3, 2), (8, 3), (9, 4)] {
+            let b = build(&spec, p).unwrap();
+            let sends = b.rank_ops[0].iter().filter(|o| matches!(o, Op::Isend { .. })).count();
+            assert_eq!(sends, rounds, "p={p}");
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes_skewed_ranks() {
+        // A rank arriving late must hold every other rank past its arrival.
+        let p = 8;
+        let spec = CollSpec::new(CollectiveKind::Barrier, 1, 0);
+        let b = build(&spec, p).unwrap();
+        let mut programs: Vec<RankProgram> = Vec::new();
+        for (r, ops) in b.rank_ops.into_iter().enumerate() {
+            let mut prog = RankProgram::new();
+            let delay = if r == 3 { 1.0 } else { 0.0 };
+            prog.push_anon(vec![Op::delay(delay)]);
+            prog.push_anon(ops);
+            programs.push(prog);
+        }
+        let out = run(&Platform::simcluster(p), Job::new(programs), &SimConfig::default()).unwrap();
+        for r in 0..p {
+            assert!(out.finish[r] >= 1.0, "rank {r} left the barrier at {} before the late rank", out.finish[r]);
+        }
+    }
+}

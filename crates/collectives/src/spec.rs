@@ -1,0 +1,149 @@
+//! Collective invocation specs and the schedule builder entry point.
+
+use pap_sim::program::Tag;
+use pap_sim::Op;
+use serde::{Deserialize, Serialize};
+
+use crate::registry::{algorithm, CollectiveKind};
+
+/// Default segment size (bytes) for segmented algorithms — Open MPI's
+/// common `tuned` default magnitude.
+pub const DEFAULT_SEG_BYTES: u64 = 8192;
+
+/// Tag space reserved per collective instance. Two concurrently running
+/// collective instances (e.g. micro-benchmark repetitions) must use
+/// `tag_base` values at least this far apart.
+pub const TAG_SPAN: u64 = 1 << 20;
+
+/// One collective invocation to be scheduled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollSpec {
+    /// Which collective.
+    pub kind: CollectiveKind,
+    /// Algorithm ID (Table II numbering; see [`crate::registry`]).
+    pub alg: u8,
+    /// Message size in bytes. Convention follows the micro-benchmark
+    /// literature: for Reduce/Allreduce/Bcast this is the total vector size;
+    /// for Alltoall it is the per-destination block size.
+    pub bytes: u64,
+    /// Root rank (rooted collectives; ignored otherwise).
+    pub root: usize,
+    /// Segment size for segmented algorithms.
+    pub seg_bytes: u64,
+    /// Base tag; the instance uses tags in `[tag_base, tag_base + TAG_SPAN)`.
+    pub tag_base: Tag,
+}
+
+impl CollSpec {
+    /// Spec with root 0, default segmentation, tag base 0.
+    pub fn new(kind: CollectiveKind, alg: u8, bytes: u64) -> Self {
+        CollSpec { kind, alg, bytes, root: 0, seg_bytes: DEFAULT_SEG_BYTES, tag_base: 0 }
+    }
+
+    /// Replace the root.
+    pub fn with_root(mut self, root: usize) -> Self {
+        self.root = root;
+        self
+    }
+
+    /// Replace the segment size.
+    pub fn with_seg_bytes(mut self, seg_bytes: u64) -> Self {
+        self.seg_bytes = seg_bytes;
+        self
+    }
+
+    /// Replace the tag base.
+    pub fn with_tag_base(mut self, tag_base: Tag) -> Self {
+        self.tag_base = tag_base;
+        self
+    }
+}
+
+/// A built collective: per-rank operation schedules.
+#[derive(Debug, Clone)]
+pub struct Built {
+    /// `rank_ops[r]` is the schedule of rank `r` (including input
+    /// initialization).
+    pub rank_ops: Vec<Vec<Op>>,
+    /// Number of logical segments/chunks the data coordinates use (the
+    /// verification grid).
+    pub nseg: u32,
+}
+
+/// Why a spec could not be built.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// No such (kind, id) in the registry.
+    UnknownAlgorithm(CollectiveKind, u8),
+    /// Parameter out of range (root, process count, …).
+    Invalid(String),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::UnknownAlgorithm(k, id) => write!(f, "unknown algorithm {id} for {k}"),
+            BuildError::Invalid(s) => write!(f, "invalid collective spec: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Build the per-rank schedules of a collective invocation for `p` ranks.
+pub fn build(spec: &CollSpec, p: usize) -> Result<Built, BuildError> {
+    if p == 0 {
+        return Err(BuildError::Invalid("p must be positive".into()));
+    }
+    if spec.root >= p {
+        return Err(BuildError::Invalid(format!("root {} out of range for p={p}", spec.root)));
+    }
+    if spec.seg_bytes == 0 {
+        return Err(BuildError::Invalid("seg_bytes must be positive".into()));
+    }
+    if algorithm(spec.kind, spec.alg).is_none() {
+        return Err(BuildError::UnknownAlgorithm(spec.kind, spec.alg));
+    }
+    match spec.kind {
+        CollectiveKind::Reduce => crate::reduce::build(spec, p),
+        CollectiveKind::Allreduce => crate::allreduce::build(spec, p),
+        CollectiveKind::Alltoall => crate::alltoall::build(spec, p),
+        CollectiveKind::Bcast => crate::bcast::build(spec, p),
+        CollectiveKind::Barrier => crate::barrier::build(spec, p),
+        CollectiveKind::Allgather => crate::allgather::build(spec, p),
+        CollectiveKind::Gather => crate::gather::build(spec, p),
+        CollectiveKind::Scatter => crate::scatter::build(spec, p),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_rejects_bad_params() {
+        let spec = CollSpec::new(CollectiveKind::Reduce, 5, 64);
+        assert!(matches!(build(&spec, 0), Err(BuildError::Invalid(_))));
+        assert!(matches!(
+            build(&spec.clone().with_root(8), 8),
+            Err(BuildError::Invalid(_))
+        ));
+        assert!(matches!(
+            build(&spec.clone().with_seg_bytes(0), 8),
+            Err(BuildError::Invalid(_))
+        ));
+        let bad = CollSpec::new(CollectiveKind::Reduce, 99, 64);
+        assert!(matches!(build(&bad, 8), Err(BuildError::UnknownAlgorithm(..))));
+    }
+
+    #[test]
+    fn spec_builder_chain() {
+        let s = CollSpec::new(CollectiveKind::Bcast, 5, 4096)
+            .with_root(3)
+            .with_seg_bytes(1024)
+            .with_tag_base(TAG_SPAN * 7);
+        assert_eq!(s.root, 3);
+        assert_eq!(s.seg_bytes, 1024);
+        assert_eq!(s.tag_base, TAG_SPAN * 7);
+    }
+}

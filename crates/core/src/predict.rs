@@ -1,0 +1,73 @@
+//! Application runtime projection (Fig. 9): compute time plus the expected
+//! collective time, under the No-delay estimate vs. the pattern-averaged
+//! estimate.
+
+use serde::{Deserialize, Serialize};
+
+/// Projected vs. actual application runtime for one collective algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AppPrediction {
+    /// Measured application runtime.
+    pub actual: f64,
+    /// `compute + calls × d̂(no_delay)` — the projection a conventional
+    /// micro-benchmark supports.
+    pub predicted_no_delay: f64,
+    /// `compute + calls × mean_k d̂(pattern_k)` — the projection using the
+    /// pattern-averaged collective time (§V-C).
+    pub predicted_avg: f64,
+}
+
+impl AppPrediction {
+    /// Relative error of the No-delay projection.
+    pub fn error_no_delay(&self) -> f64 {
+        (self.predicted_no_delay - self.actual).abs() / self.actual
+    }
+
+    /// Relative error of the pattern-averaged projection.
+    pub fn error_avg(&self) -> f64 {
+        (self.predicted_avg - self.actual).abs() / self.actual
+    }
+}
+
+/// Build a projection from profile data.
+///
+/// * `actual` — measured application runtime (e.g. the `pap-apps` FT report).
+/// * `compute` — extracted computation time (mpisee-style profile).
+/// * `calls` — number of collective calls.
+/// * `no_delay_time` — the collective's `d̂` in the synchronized
+///   micro-benchmark.
+/// * `avg_time` — the collective's `d̂` averaged over the arrival-pattern
+///   suite (excluding any held-out application pattern).
+pub fn predict_app_runtime(
+    actual: f64,
+    compute: f64,
+    calls: usize,
+    no_delay_time: f64,
+    avg_time: f64,
+) -> AppPrediction {
+    AppPrediction {
+        actual,
+        predicted_no_delay: compute + calls as f64 * no_delay_time,
+        predicted_avg: compute + calls as f64 * avg_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_arithmetic() {
+        let p = predict_app_runtime(10.0, 4.0, 10, 0.3, 0.55);
+        assert!((p.predicted_no_delay - 7.0).abs() < 1e-12);
+        assert!((p.predicted_avg - 9.5).abs() < 1e-12);
+        assert!(p.error_avg() < p.error_no_delay());
+    }
+
+    #[test]
+    fn errors_are_relative() {
+        let p = AppPrediction { actual: 2.0, predicted_no_delay: 1.0, predicted_avg: 2.2 };
+        assert!((p.error_no_delay() - 0.5).abs() < 1e-12);
+        assert!((p.error_avg() - 0.1).abs() < 1e-12);
+    }
+}

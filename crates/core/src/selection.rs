@@ -1,0 +1,101 @@
+//! Selection policies: the status quo vs. the paper's robust selection.
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::BenchMatrix;
+
+/// How to pick an algorithm from a benchmark matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SelectionPolicy {
+    /// Status quo (OSU-style tuning): the algorithm fastest when all
+    /// processes are synchronized (`no_delay` row).
+    NoDelayFastest,
+    /// The paper's proposal (§V-C): the algorithm with the smallest
+    /// *average normalized runtime* across the pattern suite, optionally
+    /// excluding named patterns (e.g. a traced application pattern held out
+    /// for validation).
+    RobustAverage {
+        /// Pattern names excluded from the average.
+        exclude: Vec<String>,
+    },
+    /// Oracle with knowledge of one specific pattern (e.g. the traced
+    /// FT-Scenario): the fastest algorithm under that pattern.
+    BestUnderPattern(String),
+}
+
+impl SelectionPolicy {
+    /// The paper's robust policy with no exclusions.
+    pub fn robust() -> Self {
+        SelectionPolicy::RobustAverage { exclude: Vec::new() }
+    }
+}
+
+/// Apply a policy to a matrix; returns the chosen algorithm ID.
+pub fn select(matrix: &BenchMatrix, policy: &SelectionPolicy) -> Result<u8, String> {
+    match policy {
+        SelectionPolicy::NoDelayFastest => matrix
+            .best_in("no_delay")
+            .ok_or_else(|| "matrix has no no_delay row".to_string()),
+        SelectionPolicy::RobustAverage { exclude } => {
+            let ex: Vec<&str> = exclude.iter().map(String::as_str).collect();
+            let avg = matrix.avg_normalized(&ex);
+            let (i, _) = avg
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite averages"))
+                .ok_or_else(|| "empty matrix".to_string())?;
+            Ok(matrix.algs[i])
+        }
+        SelectionPolicy::BestUnderPattern(p) => matrix
+            .best_in(p)
+            .ok_or_else(|| format!("matrix has no pattern '{p}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pap_collectives::CollectiveKind;
+
+    fn matrix() -> BenchMatrix {
+        BenchMatrix {
+            kind: CollectiveKind::Alltoall,
+            bytes: 32768,
+            algs: vec![1, 2, 3],
+            patterns: vec!["no_delay".into(), "ascending".into(), "ft_scenario".into()],
+            values: vec![
+                vec![1.0, 1.3, 4.0],
+                vec![5.0, 1.5, 2.0],
+                vec![6.0, 1.4, 2.0],
+            ],
+        }
+    }
+
+    #[test]
+    fn no_delay_policy_picks_synchronized_winner() {
+        assert_eq!(select(&matrix(), &SelectionPolicy::NoDelayFastest).unwrap(), 1);
+    }
+
+    #[test]
+    fn robust_policy_picks_consistent_algorithm() {
+        // Alg 1 wins no_delay but collapses elsewhere; alg 2 is near-best
+        // everywhere.
+        assert_eq!(select(&matrix(), &SelectionPolicy::robust()).unwrap(), 2);
+    }
+
+    #[test]
+    fn robust_policy_respects_exclusions() {
+        let policy = SelectionPolicy::RobustAverage {
+            exclude: vec!["ascending".into(), "ft_scenario".into()],
+        };
+        // With only no_delay left, it degenerates to the status quo.
+        assert_eq!(select(&matrix(), &policy).unwrap(), 1);
+    }
+
+    #[test]
+    fn oracle_policy_uses_named_pattern() {
+        let policy = SelectionPolicy::BestUnderPattern("ft_scenario".into());
+        assert_eq!(select(&matrix(), &policy).unwrap(), 2);
+        assert!(select(&matrix(), &SelectionPolicy::BestUnderPattern("x".into())).is_err());
+    }
+}

@@ -1,0 +1,276 @@
+//! The per-cell measurement loop (Listing 1 of the paper).
+
+use pap_arrival::ArrivalPattern;
+use pap_clocksync::{harmonize_starts, sync_cluster, ClusterClocks, Hca3Config};
+use pap_collectives::{build, BuildError, CollSpec, TAG_SPAN};
+use pap_sim::{run, Job, Label, NoiseModel, Op, Platform, RankProgram, SimConfig, SimError};
+use serde::{Deserialize, Serialize};
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Measured repetitions.
+    pub nrep: usize,
+    /// Base RNG seed (noise and clock generation derive from it).
+    pub seed: u64,
+    /// Noise model for the runs. `None` (field) uses the platform default.
+    pub noise: Option<NoiseModel>,
+    /// Model drifting clocks + HCA3 + harmonize. When false (the simulation
+    /// setting of §III-A), ranks share the perfect global clock and start
+    /// exactly on target.
+    pub clock_sync: bool,
+    /// HCA3 parameters (when `clock_sync`).
+    pub hca3: Hca3Config,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig { nrep: 3, seed: 0xBE7C, noise: None, clock_sync: false, hca3: Hca3Config::default() }
+    }
+}
+
+impl BenchConfig {
+    /// The noise-free, perfectly-clocked simulation configuration of §III
+    /// (one repetition suffices: runs are exactly reproducible).
+    pub fn simulation() -> Self {
+        BenchConfig { nrep: 1, noise: Some(NoiseModel::None), clock_sync: false, ..Default::default() }
+    }
+
+    /// A "real machine" configuration: platform-default noise, drifting
+    /// clocks, HCA3 + harmonize, several repetitions.
+    pub fn real_machine(nrep: usize) -> Self {
+        BenchConfig { nrep, noise: None, clock_sync: true, ..Default::default() }
+    }
+
+    /// Replace the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// One repetition's metrics, from observed (calibrated-clock) timestamps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Last delay `d̂ = max(eᵢ) − max(aᵢ)` (Eq. 2).
+    pub last_delay: f64,
+    /// Total delay `d* = max(eᵢ) − min(aᵢ)` (Eq. 1).
+    pub total_delay: f64,
+}
+
+/// Errors of the harness.
+#[derive(Debug)]
+pub enum BenchError {
+    /// The collective schedule could not be built.
+    Build(BuildError),
+    /// The simulation failed (deadlock or invalid program).
+    Sim(SimError),
+    /// Pattern length does not match the platform rank count.
+    PatternMismatch { pattern: usize, ranks: usize },
+}
+
+impl std::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchError::Build(e) => write!(f, "build: {e}"),
+            BenchError::Sim(e) => write!(f, "sim: {e}"),
+            BenchError::PatternMismatch { pattern, ranks } => {
+                write!(f, "pattern has {pattern} delays but platform has {ranks} ranks")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+impl From<BuildError> for BenchError {
+    fn from(e: BuildError) -> Self {
+        BenchError::Build(e)
+    }
+}
+
+impl From<SimError> for BenchError {
+    fn from(e: SimError) -> Self {
+        BenchError::Sim(e)
+    }
+}
+
+/// Measure one collective under one arrival pattern: `cfg.nrep` repetitions
+/// of Listing 1, each an independent simulator run.
+pub fn measure(
+    platform: &Platform,
+    spec: &CollSpec,
+    pattern: &ArrivalPattern,
+    cfg: &BenchConfig,
+) -> Result<crate::RunStats, BenchError> {
+    let p = platform.ranks;
+    if pattern.len() != p {
+        return Err(BenchError::PatternMismatch { pattern: pattern.len(), ranks: p });
+    }
+
+    // Clock infrastructure, set up once per benchmark (like a real
+    // measurement campaign: sync first, then repeat).
+    let clock_ctx = if cfg.clock_sync {
+        let clocks = ClusterClocks::realistic(platform.occupied_nodes(), cfg.seed ^ 0xC10C);
+        let calib = sync_cluster(&clocks, &cfg.hca3, cfg.seed ^ 0x5A5A);
+        Some((clocks, calib))
+    } else {
+        None
+    };
+
+    let noise = cfg.noise.unwrap_or(platform.default_noise);
+    let label = Label { kind: spec.kind.label_kind(), seq: 0 };
+    // Start far enough in the future that harmonize targets are reachable.
+    let target = 1e-3;
+
+    let mut reps = Vec::with_capacity(cfg.nrep);
+    for rep in 0..cfg.nrep {
+        let spec_rep = spec.clone().with_tag_base(spec.tag_base + rep as u64 * TAG_SPAN);
+        let built = build(&spec_rep, p)?;
+        let starts: Vec<f64> = match &clock_ctx {
+            Some((clocks, calib)) => {
+                harmonize_starts(clocks, calib, p, |r| platform.node_of(r), target, 0.0)
+            }
+            None => vec![target; p],
+        };
+        let mut programs = Vec::with_capacity(p);
+        for (r, ops) in built.rank_ops.into_iter().enumerate() {
+            let mut prog = RankProgram::new();
+            prog.push_anon(vec![
+                Op::SleepUntil { time: starts[r] },
+                Op::delay(pattern.delay_of(r)),
+            ]);
+            prog.push_labeled(label, ops);
+            programs.push(prog);
+        }
+        let sim_cfg = SimConfig {
+            seed: cfg.seed.wrapping_add(rep as u64).wrapping_mul(0x9E37_79B9),
+            track_data: false,
+            noise,
+            ..SimConfig::default()
+        };
+        let out = run(platform, Job::new(programs), &sim_cfg)?;
+        let recs = out.phases_for(label);
+        debug_assert_eq!(recs.len(), p);
+
+        // Observe timestamps through the (possibly imperfect) clocks.
+        let obs = |rank: usize, t: f64| match &clock_ctx {
+            Some((clocks, calib)) => pap_clocksync::observe(clocks, calib, platform.node_of(rank), t),
+            None => t,
+        };
+        let mut max_a = f64::NEG_INFINITY;
+        let mut min_a = f64::INFINITY;
+        let mut max_e = f64::NEG_INFINITY;
+        for rec in &recs {
+            let a = obs(rec.rank, rec.enter);
+            let e = obs(rec.rank, rec.exit);
+            max_a = max_a.max(a);
+            min_a = min_a.min(a);
+            max_e = max_e.max(e);
+        }
+        reps.push(Measurement { last_delay: max_e - max_a, total_delay: max_e - min_a });
+    }
+    Ok(crate::RunStats::new(reps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pap_arrival::{generate, Shape};
+    use pap_collectives::CollectiveKind;
+
+    fn pattern(shape: Shape, p: usize, s: f64) -> ArrivalPattern {
+        generate(shape, p, s, 1)
+    }
+
+    #[test]
+    fn no_delay_measurement_is_positive_and_deterministic() {
+        let platform = Platform::simcluster(8);
+        let spec = CollSpec::new(CollectiveKind::Reduce, 5, 1024);
+        let cfg = BenchConfig::simulation();
+        let a = measure(&platform, &spec, &pattern(Shape::NoDelay, 8, 0.0), &cfg).unwrap();
+        let b = measure(&platform, &spec, &pattern(Shape::NoDelay, 8, 0.0), &cfg).unwrap();
+        assert!(a.mean_last() > 0.0);
+        assert_eq!(a.mean_last(), b.mean_last(), "simulation must be exactly reproducible");
+    }
+
+    #[test]
+    fn last_delay_never_exceeds_total_delay() {
+        let platform = Platform::simcluster(8);
+        let spec = CollSpec::new(CollectiveKind::Alltoall, 3, 256);
+        let cfg = BenchConfig::simulation();
+        for shape in Shape::SUITE {
+            let st = measure(&platform, &spec, &pattern(shape, 8, 1e-4), &cfg).unwrap();
+            for m in &st.reps {
+                assert!(m.last_delay <= m.total_delay + 1e-12, "{shape}: d̂ > d*");
+                assert!(m.last_delay > 0.0, "{shape}: non-positive d̂");
+            }
+        }
+    }
+
+    #[test]
+    fn skew_is_absorbed_into_total_delay() {
+        // With a large LastDelayed skew, d* ≈ skew + collective time while
+        // d̂ stays near the collective time.
+        let platform = Platform::simcluster(8);
+        let spec = CollSpec::new(CollectiveKind::Bcast, 5, 1024);
+        let cfg = BenchConfig::simulation();
+        let skew = 10e-3;
+        let st = measure(&platform, &spec, &pattern(Shape::LastDelayed, 8, skew), &cfg).unwrap();
+        assert!(st.mean_total() > skew);
+        assert!(st.mean_last() < skew / 10.0, "d̂ {} should be far below the skew", st.mean_last());
+    }
+
+    #[test]
+    fn binomial_reduce_suffers_under_last_delayed_more_than_in_order() {
+        // The paper's headline Reduce observation (Fig. 4a / Fig. 5a): with
+        // the last process delayed, the in-order binary tree (rooted at the
+        // last rank) absorbs the skew; the binomial tree (last rank deep in
+        // the tree) cannot.
+        let p = 64;
+        let platform = Platform::simcluster(p);
+        let cfg = BenchConfig::simulation();
+        let skew = 1e-3;
+        let pat = pattern(Shape::LastDelayed, p, skew);
+        let binom = measure(&platform, &CollSpec::new(CollectiveKind::Reduce, 5, 64), &pat, &cfg).unwrap();
+        let inbin = measure(&platform, &CollSpec::new(CollectiveKind::Reduce, 6, 64), &pat, &cfg).unwrap();
+        assert!(
+            inbin.mean_last() < binom.mean_last(),
+            "in-order binary ({}) should beat binomial ({}) under LastDelayed",
+            inbin.mean_last(),
+            binom.mean_last()
+        );
+    }
+
+    #[test]
+    fn clock_sync_mode_adds_small_arrival_error() {
+        let platform = Platform::hydra(8);
+        let spec = CollSpec::new(CollectiveKind::Reduce, 5, 1024);
+        let mut cfg = BenchConfig::real_machine(2);
+        cfg.noise = Some(NoiseModel::None);
+        let st = measure(&platform, &spec, &pattern(Shape::NoDelay, 8, 0.0), &cfg).unwrap();
+        // Harmonized starts differ by at most ~1µs (HCA3 residuals), so the
+        // measured d̂ stays close to the ideal-clock measurement.
+        let ideal = measure(&platform, &spec, &pattern(Shape::NoDelay, 8, 0.0), &BenchConfig::simulation())
+            .unwrap();
+        let diff = (st.mean_last() - ideal.mean_last()).abs();
+        assert!(diff < 5e-6, "clock-sync effect too large: {diff}");
+    }
+
+    #[test]
+    fn pattern_length_mismatch_rejected() {
+        let platform = Platform::simcluster(8);
+        let spec = CollSpec::new(CollectiveKind::Reduce, 5, 1024);
+        let err = measure(&platform, &spec, &pattern(Shape::NoDelay, 4, 0.0), &BenchConfig::simulation());
+        assert!(matches!(err, Err(BenchError::PatternMismatch { .. })));
+    }
+
+    #[test]
+    fn noise_makes_repetitions_vary() {
+        let platform = Platform::hydra(8);
+        let spec = CollSpec::new(CollectiveKind::Reduce, 5, 1024);
+        let cfg = BenchConfig::real_machine(4);
+        let st = measure(&platform, &spec, &pattern(Shape::NoDelay, 8, 0.0), &cfg).unwrap();
+        assert!(st.max_last() > st.min_last(), "noisy reps should differ");
+    }
+}

@@ -1,0 +1,237 @@
+//! Sweeps over (algorithm × arrival pattern) with the paper's skew
+//! calibration rules.
+
+use pap_arrival::{generate, ArrivalPattern, Shape};
+use pap_collectives::{CollSpec, CollectiveKind, TAG_SPAN};
+use pap_sim::Platform;
+use serde::{Deserialize, Serialize};
+
+use crate::harness::{measure, BenchConfig, BenchError};
+use crate::stats::RunStats;
+
+/// How the maximum process skew of the generated patterns is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SkewPolicy {
+    /// A fixed skew in seconds (e.g. derived from an application trace, as
+    /// in the Fig. 8 experiments).
+    Fixed(f64),
+    /// `factor × t̄ᵃ`, where `t̄ᵃ` is the average `NoDelay` runtime over all
+    /// algorithms (§III-B; the paper reports the 1.5 factor).
+    FactorOfAvg(f64),
+    /// Scale each algorithm's pattern to that algorithm's own `NoDelay`
+    /// runtime `tᵢ` (§IV-C, the robustness experiments).
+    PerAlgorithm,
+}
+
+/// One measured cell of a sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepCell {
+    /// Algorithm ID.
+    pub alg: u8,
+    /// Pattern name (a shape name or a measured-pattern name).
+    pub pattern: String,
+    /// The max skew actually applied (seconds).
+    pub skew: f64,
+    /// Measurement statistics.
+    pub stats: RunStats,
+}
+
+/// Results of one (collective, message size) sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// Collective kind.
+    pub kind: CollectiveKind,
+    /// Message size (bytes, collective convention).
+    pub bytes: u64,
+    /// Algorithm IDs in sweep order.
+    pub algs: Vec<u8>,
+    /// Pattern names in sweep order.
+    pub patterns: Vec<String>,
+    /// All cells (algs × patterns).
+    pub cells: Vec<SweepCell>,
+}
+
+impl SweepResult {
+    /// The cell of (algorithm, pattern), if present.
+    pub fn cell(&self, alg: u8, pattern: &str) -> Option<&SweepCell> {
+        self.cells.iter().find(|c| c.alg == alg && c.pattern == pattern)
+    }
+
+    /// Mean last delay of a cell (the figure metric).
+    pub fn mean_last(&self, alg: u8, pattern: &str) -> Option<f64> {
+        self.cell(alg, pattern).map(|c| c.stats.mean_last())
+    }
+}
+
+/// §III-B: the average `NoDelay` runtime `t̄ᵃ` over a set of algorithms,
+/// used to size artificial skews.
+pub fn calibrate_avg_runtime(
+    platform: &Platform,
+    kind: CollectiveKind,
+    algs: &[u8],
+    bytes: u64,
+    cfg: &BenchConfig,
+) -> Result<f64, BenchError> {
+    let mut sum = 0.0;
+    for (i, &alg) in algs.iter().enumerate() {
+        sum += no_delay_runtime(platform, kind, alg, bytes, cfg, i)?;
+    }
+    Ok(sum / algs.len() as f64)
+}
+
+/// One algorithm's `NoDelay` mean last-delay runtime `tᵢ`.
+pub fn no_delay_runtime(
+    platform: &Platform,
+    kind: CollectiveKind,
+    alg: u8,
+    bytes: u64,
+    cfg: &BenchConfig,
+    tag_slot: usize,
+) -> Result<f64, BenchError> {
+    let spec = CollSpec::new(kind, alg, bytes).with_tag_base(tag_slot as u64 * 64 * TAG_SPAN);
+    let nodelay = generate(Shape::NoDelay, platform.ranks, 0.0, 0);
+    Ok(measure(platform, &spec, &nodelay, cfg)?.mean_last())
+}
+
+/// Run the full (algorithms × shapes) sweep for one collective and message
+/// size, with patterns sized by `policy`. Extra named patterns (e.g. the
+/// traced FT-Scenario) can be appended via `extra_patterns`; their delays
+/// are used as-is.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep(
+    platform: &Platform,
+    kind: CollectiveKind,
+    algs: &[u8],
+    shapes: &[Shape],
+    bytes: u64,
+    policy: SkewPolicy,
+    extra_patterns: &[ArrivalPattern],
+    cfg: &BenchConfig,
+) -> Result<SweepResult, BenchError> {
+    let p = platform.ranks;
+
+    // Calibrate skews.
+    let fixed_skew = match policy {
+        SkewPolicy::Fixed(s) => Some(s),
+        SkewPolicy::FactorOfAvg(f) => Some(f * calibrate_avg_runtime(platform, kind, algs, bytes, cfg)?),
+        SkewPolicy::PerAlgorithm => None,
+    };
+    let per_alg_skew: Vec<f64> = match policy {
+        SkewPolicy::PerAlgorithm => algs
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| no_delay_runtime(platform, kind, a, bytes, cfg, i))
+            .collect::<Result<_, _>>()?,
+        _ => vec![fixed_skew.unwrap_or(0.0); algs.len()],
+    };
+
+    let mut cells = Vec::new();
+    let mut pattern_names: Vec<String> = shapes.iter().map(|s| s.name().to_string()).collect();
+    pattern_names.extend(extra_patterns.iter().map(|e| e.name.clone()));
+
+    for (ai, &alg) in algs.iter().enumerate() {
+        let skew = per_alg_skew[ai];
+        let mut cell_id = 0u64;
+        for &shape in shapes {
+            let pat = generate(shape, p, if shape == Shape::NoDelay { 0.0 } else { skew }, cfg.seed);
+            let spec = CollSpec::new(kind, alg, bytes)
+                .with_tag_base((ai as u64 * 64 + cell_id) * 8 * TAG_SPAN);
+            let stats = measure(platform, &spec, &pat, cfg)?;
+            cells.push(SweepCell { alg, pattern: shape.name().to_string(), skew: pat.max_skew(), stats });
+            cell_id += 1;
+        }
+        for extra in extra_patterns {
+            let spec = CollSpec::new(kind, alg, bytes)
+                .with_tag_base((ai as u64 * 64 + cell_id) * 8 * TAG_SPAN);
+            let stats = measure(platform, &spec, extra, cfg)?;
+            cells.push(SweepCell { alg, pattern: extra.name.clone(), skew: extra.max_skew(), stats });
+            cell_id += 1;
+        }
+    }
+
+    Ok(SweepResult { kind, bytes, algs: algs.to_vec(), patterns: pattern_names, cells })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_is_positive_and_scales_with_size() {
+        let platform = Platform::simcluster(8);
+        let cfg = BenchConfig::simulation();
+        let algs = [1u8, 2, 3];
+        let small = calibrate_avg_runtime(&platform, CollectiveKind::Reduce, &algs, 64, &cfg).unwrap();
+        let large = calibrate_avg_runtime(&platform, CollectiveKind::Reduce, &algs, 1 << 20, &cfg).unwrap();
+        assert!(small > 0.0);
+        assert!(large > small * 5.0, "1 MiB ({large}) should dwarf 64 B ({small})");
+    }
+
+    #[test]
+    fn sweep_produces_full_grid() {
+        let platform = Platform::simcluster(8);
+        let cfg = BenchConfig::simulation();
+        let shapes = [Shape::NoDelay, Shape::Ascending, Shape::LastDelayed];
+        let res = sweep(
+            &platform,
+            CollectiveKind::Alltoall,
+            &[1, 2, 3],
+            &shapes,
+            128,
+            SkewPolicy::FactorOfAvg(1.5),
+            &[],
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(res.cells.len(), 9);
+        assert_eq!(res.patterns.len(), 3);
+        assert!(res.mean_last(3, "ascending").unwrap() > 0.0);
+        assert!(res.cell(3, "bogus").is_none());
+        // Non-NoDelay cells carry the calibrated skew.
+        let skew = res.cell(1, "ascending").unwrap().skew;
+        assert!(skew > 0.0);
+        assert_eq!(res.cell(2, "ascending").unwrap().skew, skew, "FactorOfAvg is shared");
+    }
+
+    #[test]
+    fn per_algorithm_policy_gives_each_its_own_skew() {
+        let platform = Platform::simcluster(8);
+        let cfg = BenchConfig::simulation();
+        // Linear (1) and Bruck (3) have very different NoDelay runtimes at
+        // this size, so their robustness skews must differ.
+        let res = sweep(
+            &platform,
+            CollectiveKind::Alltoall,
+            &[1, 3],
+            &[Shape::Ascending],
+            16 * 1024,
+            SkewPolicy::PerAlgorithm,
+            &[],
+            &cfg,
+        )
+        .unwrap();
+        let s1 = res.cell(1, "ascending").unwrap().skew;
+        let s3 = res.cell(3, "ascending").unwrap().skew;
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn extra_patterns_are_measured_verbatim() {
+        let platform = Platform::simcluster(4);
+        let cfg = BenchConfig::simulation();
+        let ft = ArrivalPattern::new("ft_scenario", vec![0.0, 1e-4, 2e-4, 0.5e-4]);
+        let res = sweep(
+            &platform,
+            CollectiveKind::Reduce,
+            &[5],
+            &[Shape::NoDelay],
+            256,
+            SkewPolicy::Fixed(1e-4),
+            std::slice::from_ref(&ft),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(res.patterns, vec!["no_delay".to_string(), "ft_scenario".to_string()]);
+        assert_eq!(res.cell(5, "ft_scenario").unwrap().skew, ft.max_skew());
+    }
+}

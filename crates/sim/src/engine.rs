@@ -1,0 +1,1309 @@
+//! The discrete-event execution engine.
+//!
+//! Each rank executes its [`crate::program::RankProgram`] sequentially. Ranks may run ahead
+//! of global event time (lazy virtual time); correctness of message matching
+//! does not depend on processing order because all completion times are
+//! computed from timestamps (`max` of the two sides), and FIFO queues per
+//! `(src, dst, tag)` channel are only ever filled in program order by a
+//! single rank per side.
+//!
+//! ## Protocols
+//!
+//! * **Eager** (`bytes <= eager_threshold`): the sender resumes after its
+//!   send overhead `o_s`; the message is injected into the network in the
+//!   background (serializing on the source node's NIC egress), travels for
+//!   `L + bytes/bw`, serializes on the destination NIC ingress, and is
+//!   delivered; a matching receive completes at
+//!   `max(delivered, posted) + o_r`.
+//! * **Rendezvous** (`bytes > eager_threshold`): the sender announces (RTS)
+//!   and blocks; when the matching receive is posted, the handshake completes
+//!   at `max(ts + L, tr) + L` and injection begins; the sender resumes when
+//!   the data has left the node (egress complete), the receiver completes at
+//!   delivery + `o_r`.
+//!
+//! ## Contention
+//!
+//! Each node has one NIC; concurrent inter-node transfers serialize on the
+//! egress of the source node and the ingress of the destination node. This
+//! is the mechanism that makes a flat linear all-to-all collapse under
+//! incast while pairwise exchange does not — the effect the paper's
+//! All-to-all analysis hinges on. Intra-node messages bypass the NIC.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::data::Value;
+use crate::noise::NoiseModel;
+use crate::platform::Platform;
+use crate::program::{Job, Label, Op, ReqId, Slot, Tag};
+use crate::time::{OrdTime, SimTime};
+use crate::SimConfig;
+
+/// Enter/exit times of one labelled segment on one rank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseRecord {
+    /// Rank that executed the segment.
+    pub rank: usize,
+    /// The segment's label.
+    pub label: Label,
+    /// Time the rank started the segment (its *arrival time* `a_i`).
+    pub enter: SimTime,
+    /// Time the rank finished the segment (its *exit time* `e_i`).
+    pub exit: SimTime,
+}
+
+/// Errors the engine can report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// No more events but some ranks have not finished: circular wait.
+    Deadlock {
+        /// Time at which progress stopped.
+        at: SimTime,
+        /// `(rank, description of the op it is blocked on)`.
+        blocked: Vec<(usize, String)>,
+    },
+    /// The job referenced invalid ranks/slots or misused requests.
+    InvalidProgram(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { at, blocked } => {
+                write!(f, "deadlock at t={at:.9}s; blocked: ")?;
+                for (r, d) in blocked.iter().take(8) {
+                    write!(f, "[{r}: {d}] ")?;
+                }
+                if blocked.len() > 8 {
+                    write!(f, "… ({} total)", blocked.len())?;
+                }
+                Ok(())
+            }
+            SimError::InvalidProgram(s) => write!(f, "invalid program: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// One delivered point-to-point message (recorded when
+/// `SimConfig::record_messages` is set) — the simulator's SMPI-style
+/// communication trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MsgEvent {
+    /// Sending rank.
+    pub src: usize,
+    /// Receiving rank.
+    pub dst: usize,
+    /// Match tag.
+    pub tag: Tag,
+    /// Message size in bytes.
+    pub bytes: u64,
+    /// Time the sender initiated the message (after its send overhead).
+    pub sent: SimTime,
+    /// Time the receive completed at the destination.
+    pub delivered: SimTime,
+}
+
+/// Result of a run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Per-rank completion time of the whole program.
+    pub finish: Vec<SimTime>,
+    /// Enter/exit records of labelled segments, in completion order.
+    pub phases: Vec<PhaseRecord>,
+    /// Final slot contents per rank (only when `track_data`).
+    pub slots: Option<Vec<Vec<Value>>>,
+    /// Dataflow violations detected (double counts, conflicting blocks).
+    /// Empty on a correct collective schedule.
+    pub data_errors: Vec<String>,
+    /// Number of events processed (diagnostics).
+    pub events: u64,
+    /// Number of point-to-point messages transferred.
+    pub messages: u64,
+    /// Per-message trace (only when `record_messages`).
+    pub msg_events: Option<Vec<MsgEvent>>,
+}
+
+impl RunOutcome {
+    /// Latest finish time over all ranks (the makespan).
+    pub fn makespan(&self) -> SimTime {
+        self.finish.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Records of a specific label, ordered by rank.
+    pub fn phases_for(&self, label: Label) -> Vec<PhaseRecord> {
+        let mut v: Vec<PhaseRecord> = self.phases.iter().copied().filter(|p| p.label == label).collect();
+        v.sort_by_key(|p| p.rank);
+        v
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Internal state
+// ---------------------------------------------------------------------------
+
+type MsgId = usize;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Protocol {
+    Eager,
+    Rendezvous,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum MsgState {
+    /// Created; not yet matched with a receive.
+    Unmatched,
+    /// Eager data has arrived but no receive was posted yet.
+    DeliveredUnmatched(SimTime),
+    /// Matched; delivery event will complete the receive.
+    WaitingDelivery,
+    /// Fully consumed.
+    Done,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum RecvWake {
+    /// A blocking `Recv`; the rank is parked on it.
+    Blocking,
+    /// An `Irecv`; completing it resolves this request.
+    Req(ReqId),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RecvInfo {
+    slot: Slot,
+    posted_at: SimTime,
+    wake: RecvWake,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum SenderWake {
+    /// Blocking rendezvous `Send`; the rank is parked on it.
+    Blocked,
+    /// Rendezvous `Isend`; completing egress resolves this request.
+    Req(ReqId),
+    /// Eager send: the sender resumed immediately, nothing to wake.
+    None,
+}
+
+struct Msg {
+    src: u32,
+    dst: u32,
+    tag: Tag,
+    bytes: u64,
+    protocol: Protocol,
+    /// Sender-side ready time (after `o_s`).
+    ready: SimTime,
+    /// Pre-sampled multiplicative noise on the wire time (sampled in sender
+    /// program order so results do not depend on event processing order).
+    wire_factor: f64,
+    state: MsgState,
+    recv: Option<RecvInfo>,
+    sender_wake: SenderWake,
+    payload: Option<Value>,
+}
+
+#[derive(Default)]
+struct Channel {
+    /// Unmatched incoming sends, in send order.
+    incoming: VecDeque<MsgId>,
+    /// Unmatched posted receives, in post order.
+    posted: VecDeque<RecvInfo>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ReqState {
+    Free,
+    Pending,
+    Done(SimTime),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Status {
+    Runnable,
+    BlockedRecv,
+    BlockedSend,
+    BlockedWaitAll,
+    Finished,
+}
+
+struct RankState {
+    seg: usize,
+    pc: usize,
+    local: SimTime,
+    status: Status,
+    reqs: Vec<ReqState>,
+    slots: Vec<Value>,
+    seg_enter: SimTime,
+    rng: ChaCha8Rng,
+    /// Set when a wake event is already scheduled, to avoid duplicates.
+    wake_pending: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// Resume a rank whose `local` time has been set by the scheduler.
+    Wake { rank: usize },
+    /// A message is ready to be injected into the network.
+    Inject { msg: MsgId },
+    /// The full message has arrived at the destination node's NIC.
+    WireArrival { msg: MsgId },
+    /// The message content is available to the destination rank.
+    Delivered { msg: MsgId },
+}
+
+struct HeapEntry {
+    t: OrdTime,
+    seq: u64,
+    ev: Event,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.t == other.t && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.t, self.seq).cmp(&(other.t, other.seq))
+    }
+}
+
+struct Engine<'a> {
+    platform: &'a Platform,
+    cfg: &'a SimConfig,
+    ranks: Vec<RankState>,
+    programs: Vec<crate::program::RankProgram>,
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+    seq: u64,
+    channels: HashMap<(u32, u32, Tag), Channel>,
+    msgs: Vec<Msg>,
+    free_msgs: Vec<MsgId>,
+    egress_free: Vec<SimTime>,
+    ingress_free: Vec<SimTime>,
+    phases: Vec<PhaseRecord>,
+    finish: Vec<SimTime>,
+    msg_events: Vec<MsgEvent>,
+    data_errors: Vec<String>,
+    events: u64,
+    messages: u64,
+    error: Option<SimError>,
+}
+
+/// Run a job on a platform. See the crate docs for the model description.
+pub fn run(platform: &Platform, job: Job, cfg: &SimConfig) -> Result<RunOutcome, SimError> {
+    let p = job.ranks();
+    if p == 0 {
+        return Err(SimError::InvalidProgram("job has no ranks".into()));
+    }
+    if p != platform.ranks {
+        return Err(SimError::InvalidProgram(format!(
+            "job has {p} ranks but platform is configured for {}",
+            platform.ranks
+        )));
+    }
+
+    let mut ranks = Vec::with_capacity(p);
+    for r in 0..p {
+        let slots = if cfg.track_data { vec![Value::empty(); job.slots_needed(r)] } else { Vec::new() };
+        ranks.push(RankState {
+            seg: 0,
+            pc: 0,
+            local: 0.0,
+            status: Status::Runnable,
+            reqs: vec![ReqState::Free; job.reqs_needed(r)],
+            slots,
+            seg_enter: 0.0,
+            rng: ChaCha8Rng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(r as u64)),
+            wake_pending: false,
+        });
+    }
+
+    let nodes = platform.occupied_nodes();
+    let mut eng = Engine {
+        platform,
+        cfg,
+        ranks,
+        programs: job.programs,
+        heap: BinaryHeap::new(),
+        seq: 0,
+        channels: HashMap::new(),
+        msgs: Vec::new(),
+        free_msgs: Vec::new(),
+        egress_free: vec![0.0; nodes],
+        ingress_free: vec![0.0; nodes],
+        phases: Vec::new(),
+        finish: vec![0.0; p],
+        msg_events: Vec::new(),
+        data_errors: Vec::new(),
+        events: 0,
+        messages: 0,
+        error: None,
+    };
+
+    for r in 0..p {
+        eng.schedule(0.0, Event::Wake { rank: r });
+        eng.ranks[r].wake_pending = true;
+    }
+
+    eng.event_loop()?;
+
+    let slots = if cfg.track_data {
+        Some(eng.ranks.into_iter().map(|r| r.slots).collect())
+    } else {
+        None
+    };
+    let msg_events = if cfg.record_messages { Some(eng.msg_events) } else { None };
+    Ok(RunOutcome {
+        finish: eng.finish,
+        phases: eng.phases,
+        slots,
+        data_errors: eng.data_errors,
+        events: eng.events,
+        messages: eng.messages,
+        msg_events,
+    })
+}
+
+impl<'a> Engine<'a> {
+    fn schedule(&mut self, t: SimTime, ev: Event) {
+        self.seq += 1;
+        self.heap.push(Reverse(HeapEntry { t: OrdTime::new(t), seq: self.seq, ev }));
+    }
+
+    fn schedule_wake(&mut self, rank: usize, t: SimTime) {
+        if !self.ranks[rank].wake_pending {
+            self.ranks[rank].wake_pending = true;
+            self.schedule(t, Event::Wake { rank });
+        }
+    }
+
+    fn event_loop(&mut self) -> Result<(), SimError> {
+        let mut last_t = 0.0;
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            self.events += 1;
+            last_t = entry.t.0;
+            match entry.ev {
+                Event::Wake { rank } => {
+                    self.ranks[rank].wake_pending = false;
+                    self.advance(rank);
+                }
+                Event::Inject { msg } => self.on_inject(msg, entry.t.0),
+                Event::WireArrival { msg } => self.on_wire_arrival(msg, entry.t.0),
+                Event::Delivered { msg } => self.on_delivered(msg, entry.t.0),
+            }
+            if let Some(e) = self.error.take() {
+                return Err(e);
+            }
+        }
+        let blocked: Vec<(usize, String)> = self
+            .ranks
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.status != Status::Finished)
+            .map(|(i, r)| (i, self.describe_block(i, r)))
+            .collect();
+        if blocked.is_empty() {
+            Ok(())
+        } else {
+            Err(SimError::Deadlock { at: last_t, blocked })
+        }
+    }
+
+    fn describe_block(&self, rank: usize, st: &RankState) -> String {
+        let prog = &self.programs[rank];
+        match prog.segments.get(st.seg).and_then(|s| s.ops.get(st.pc)) {
+            Some(op) => format!("{:?} (seg {}, pc {}, status {:?})", op, st.seg, st.pc, st.status),
+            None => format!("end-of-program? (seg {}, pc {}, status {:?})", st.seg, st.pc, st.status),
+        }
+    }
+
+    fn fail(&mut self, msg: String) {
+        if self.error.is_none() {
+            self.error = Some(SimError::InvalidProgram(msg));
+        }
+    }
+
+    // -- rank execution ----------------------------------------------------
+
+    /// Execute ops of `rank` until it blocks or finishes.
+    fn advance(&mut self, rank: usize) {
+        loop {
+            match self.ranks[rank].status {
+                Status::Finished | Status::BlockedRecv | Status::BlockedSend => return,
+                Status::BlockedWaitAll => {
+                    // Re-evaluate the WaitAll the rank is parked on; on
+                    // success the op is complete, so advance past it.
+                    if !self.try_waitall(rank) {
+                        return;
+                    }
+                    self.ranks[rank].status = Status::Runnable;
+                    self.step(rank);
+                }
+                Status::Runnable => {}
+            }
+
+            // Segment bookkeeping.
+            let (seg, pc) = (self.ranks[rank].seg, self.ranks[rank].pc);
+            let nsegs = self.programs[rank].segments.len();
+            if seg >= nsegs {
+                let t = self.ranks[rank].local;
+                self.finish[rank] = t;
+                self.ranks[rank].status = Status::Finished;
+                return;
+            }
+            if pc >= self.programs[rank].segments[seg].ops.len() {
+                // Segment complete.
+                if let Some(label) = self.programs[rank].segments[seg].label {
+                    let enter = self.ranks[rank].seg_enter;
+                    let exit = self.ranks[rank].local;
+                    self.phases.push(PhaseRecord { rank, label, enter, exit });
+                }
+                self.ranks[rank].seg += 1;
+                self.ranks[rank].pc = 0;
+                self.ranks[rank].seg_enter = self.ranks[rank].local;
+                continue;
+            }
+            if pc == 0 {
+                self.ranks[rank].seg_enter = self.ranks[rank].local;
+            }
+
+            let op = self.programs[rank].segments[seg].ops[pc].clone();
+            if !self.exec_op(rank, op) {
+                return;
+            }
+            if self.error.is_some() {
+                return;
+            }
+        }
+    }
+
+    /// Execute one op. Returns false if the rank blocked (pc stays on the
+    /// op); returns true if execution should continue (pc advanced).
+    fn exec_op(&mut self, rank: usize, op: Op) -> bool {
+        match op {
+            Op::Compute { seconds, noisy } => {
+                let d = if noisy { self.perturb(rank, seconds) } else { seconds };
+                self.ranks[rank].local += d;
+                self.step(rank);
+                true
+            }
+            Op::SleepUntil { time } => {
+                let r = &mut self.ranks[rank];
+                r.local = r.local.max(time);
+                self.step(rank);
+                true
+            }
+            Op::Send { to, tag, bytes, slot, filter } => self.do_send(rank, to, tag, bytes, slot, filter, None),
+            Op::Isend { to, tag, bytes, slot, filter, req } => {
+                self.do_send(rank, to, tag, bytes, slot, filter, Some(req))
+            }
+            Op::Recv { from, tag, slot } => self.do_recv(rank, from, tag, slot, None),
+            Op::Irecv { from, tag, slot, req } => self.do_recv(rank, from, tag, slot, Some(req)),
+            Op::WaitAll { .. } => {
+                if self.try_waitall(rank) {
+                    self.step(rank);
+                    true
+                } else {
+                    self.ranks[rank].status = Status::BlockedWaitAll;
+                    false
+                }
+            }
+            Op::ReduceLocal { from, into, bytes } => {
+                let cost = bytes as f64 * self.platform.reduce_cost_per_byte;
+                let d = self.perturb(rank, cost);
+                self.ranks[rank].local += d;
+                if self.cfg.track_data {
+                    let src = self.ranks[rank].slots[from].clone();
+                    if let Err(e) = self.ranks[rank].slots[into].reduce_from(&src) {
+                        self.data_errors.push(format!("rank {rank}: {e}"));
+                    }
+                }
+                self.step(rank);
+                true
+            }
+            Op::MergeMove { from, into } => {
+                if self.cfg.track_data {
+                    let src = self.ranks[rank].slots[from].clone();
+                    if let Err(e) = self.ranks[rank].slots[into].merge_from(&src) {
+                        self.data_errors.push(format!("rank {rank}: {e}"));
+                    }
+                }
+                self.step(rank);
+                true
+            }
+            Op::OverwriteMove { from, into } => {
+                if self.cfg.track_data {
+                    let src = self.ranks[rank].slots[from].clone();
+                    self.ranks[rank].slots[into].overwrite_from(&src);
+                }
+                self.step(rank);
+                true
+            }
+            Op::DropBlocks { slot, filter } => {
+                if self.cfg.track_data {
+                    self.ranks[rank].slots[slot].drop_matching(filter);
+                }
+                self.step(rank);
+                true
+            }
+            Op::CopySlot { from, into } => {
+                if self.cfg.track_data {
+                    let src = self.ranks[rank].slots[from].clone();
+                    self.ranks[rank].slots[into] = src;
+                }
+                self.step(rank);
+                true
+            }
+            Op::InitSlot { slot, value } => {
+                if self.cfg.track_data {
+                    self.ranks[rank].slots[slot] = value;
+                }
+                self.step(rank);
+                true
+            }
+            Op::ClearSlot { slot } => {
+                if self.cfg.track_data {
+                    self.ranks[rank].slots[slot] = Value::empty();
+                }
+                self.step(rank);
+                true
+            }
+        }
+    }
+
+    /// Advance pc past the current op.
+    fn step(&mut self, rank: usize) {
+        self.ranks[rank].pc += 1;
+    }
+
+    fn perturb(&mut self, rank: usize, d: SimTime) -> SimTime {
+        match self.cfg.noise {
+            NoiseModel::None => d,
+            m => m.perturb(d, &mut self.ranks[rank].rng),
+        }
+    }
+
+    // -- sends & receives ---------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn do_send(
+        &mut self,
+        rank: usize,
+        to: usize,
+        tag: Tag,
+        bytes: u64,
+        slot: Slot,
+        filter: crate::data::BlockFilter,
+        req: Option<ReqId>,
+    ) -> bool {
+        if to >= self.ranks.len() {
+            self.fail(format!("rank {rank} sends to non-existent rank {to}"));
+            return false;
+        }
+        if to == rank {
+            self.fail(format!("rank {rank} sends to itself (use CopySlot)"));
+            return false;
+        }
+        if let Some(r) = req {
+            if self.ranks[rank].reqs[r] != ReqState::Free {
+                self.fail(format!("rank {rank} reuses request {r} before WaitAll"));
+                return false;
+            }
+        }
+
+        let o_s = self.platform.send_overhead;
+        let ts = self.ranks[rank].local + self.perturb(rank, o_s);
+        let wire_factor = match self.cfg.noise {
+            NoiseModel::None => 1.0,
+            m => m.wire_factor(&mut self.ranks[rank].rng),
+        };
+        let eager = self.platform.is_eager(bytes);
+        let payload = if self.cfg.track_data {
+            Some(match filter {
+                crate::data::BlockFilter::All => self.ranks[rank].slots[slot].clone(),
+                f => self.ranks[rank].slots[slot].filtered(|c| f.matches(c)),
+            })
+        } else {
+            None
+        };
+
+        let id = self.alloc_msg(Msg {
+            src: rank as u32,
+            dst: to as u32,
+            tag,
+            bytes,
+            protocol: if eager { Protocol::Eager } else { Protocol::Rendezvous },
+            ready: ts,
+            wire_factor,
+            state: MsgState::Unmatched,
+            recv: None,
+            sender_wake: SenderWake::None,
+            payload,
+        });
+        self.messages += 1;
+
+        if eager {
+            // Sender resumes immediately; data is injected in the background.
+            self.schedule(ts, Event::Inject { msg: id });
+            self.ranks[rank].local = ts;
+            if let Some(r) = req {
+                self.ranks[rank].reqs[r] = ReqState::Done(ts);
+            }
+            self.match_send_with_posted(id);
+            self.step(rank);
+            true
+        } else {
+            self.msgs[id].sender_wake = match req {
+                Some(r) => {
+                    self.ranks[rank].reqs[r] = ReqState::Pending;
+                    SenderWake::Req(r)
+                }
+                None => SenderWake::Blocked,
+            };
+            self.ranks[rank].local = ts;
+            let matched = self.match_send_with_posted(id);
+            if req.is_some() {
+                // Isend: continue; request completes at egress done.
+                self.step(rank);
+                true
+            } else if matched && self.msgs[id].state == MsgState::Done {
+                // Cannot happen for rendezvous (delivery is always async),
+                // but keep the invariant explicit.
+                self.step(rank);
+                true
+            } else {
+                self.ranks[rank].status = Status::BlockedSend;
+                false
+            }
+        }
+    }
+
+    /// Try to match a freshly created send against an already-posted recv.
+    /// Returns true if matched.
+    fn match_send_with_posted(&mut self, id: MsgId) -> bool {
+        let m = &self.msgs[id];
+        let key = (m.src, m.dst, m.tag);
+        let ch = self.channels.entry(key).or_default();
+        if let Some(recv) = ch.posted.pop_front() {
+            self.attach_recv(id, recv);
+            true
+        } else {
+            ch.incoming.push_back(id);
+            false
+        }
+    }
+
+    fn do_recv(&mut self, rank: usize, from: usize, tag: Tag, slot: Slot, req: Option<ReqId>) -> bool {
+        if from >= self.ranks.len() {
+            self.fail(format!("rank {rank} receives from non-existent rank {from}"));
+            return false;
+        }
+        if from == rank {
+            self.fail(format!("rank {rank} receives from itself"));
+            return false;
+        }
+        if let Some(r) = req {
+            if self.ranks[rank].reqs[r] != ReqState::Free {
+                self.fail(format!("rank {rank} reuses request {r} before WaitAll"));
+                return false;
+            }
+            self.ranks[rank].reqs[r] = ReqState::Pending;
+        }
+
+        // Posting a receive costs CPU (descriptor setup / matching-queue
+        // insertion). This per-message software cost is what makes
+        // aggregating algorithms (Bruck) win small-message collectives over
+        // posting one pair of requests per peer.
+        let post = self.perturb(rank, self.platform.recv_overhead);
+        self.ranks[rank].local += post;
+        let tr = self.ranks[rank].local;
+        let wake = match req {
+            Some(r) => RecvWake::Req(r),
+            None => RecvWake::Blocking,
+        };
+        let info = RecvInfo { slot, posted_at: tr, wake };
+        let key = (from as u32, rank as u32, tag);
+        let ch = self.channels.entry(key).or_default();
+
+        if let Some(&mid) = ch.incoming.front() {
+            ch.incoming.pop_front();
+            // Eager message already delivered: complete inline.
+            if let MsgState::DeliveredUnmatched(t_d) = self.msgs[mid].state {
+                let o_r = self.platform.recv_overhead;
+                let done = tr.max(t_d) + self.perturb(rank, o_r);
+                self.finish_recv(mid, rank, slot, done, req);
+                // Blocking recv continues at `done`.
+                if req.is_none() {
+                    self.ranks[rank].local = done;
+                }
+                self.step(rank);
+                return true;
+            }
+            self.attach_recv(mid, info);
+            match req {
+                Some(_) => {
+                    self.step(rank);
+                    true
+                }
+                None => {
+                    self.ranks[rank].status = Status::BlockedRecv;
+                    false
+                }
+            }
+        } else {
+            ch.posted.push_back(info);
+            match req {
+                Some(_) => {
+                    self.step(rank);
+                    true
+                }
+                None => {
+                    self.ranks[rank].status = Status::BlockedRecv;
+                    false
+                }
+            }
+        }
+    }
+
+    /// Pair a send with a receive; for rendezvous this starts the handshake.
+    fn attach_recv(&mut self, id: MsgId, recv: RecvInfo) {
+        let (protocol, ready, src, dst) =
+            (self.msgs[id].protocol, self.msgs[id].ready, self.msgs[id].src as usize, self.msgs[id].dst as usize);
+        self.msgs[id].recv = Some(recv);
+        self.msgs[id].state = MsgState::WaitingDelivery;
+        if protocol == Protocol::Rendezvous {
+            let lat = self.platform.link(src, dst).latency;
+            let inject_ready = (ready + lat).max(recv.posted_at) + lat;
+            self.schedule(inject_ready, Event::Inject { msg: id });
+        }
+    }
+
+    // -- network pipeline ---------------------------------------------------
+
+    fn on_inject(&mut self, id: MsgId, now: SimTime) {
+        let m = &self.msgs[id];
+        let (src, dst, bytes) = (m.src as usize, m.dst as usize, m.bytes);
+        let link = *self.platform.link(src, dst);
+        let wire = bytes as f64 / link.bandwidth * m.wire_factor;
+        let intra = self.platform.same_node(src, dst);
+
+        let (start, egress_done) = if !intra && self.platform.nic_serialization {
+            let node = self.platform.node_of(src);
+            let start = now.max(self.egress_free[node]);
+            self.egress_free[node] = start + wire;
+            (start, start + wire)
+        } else {
+            (now, now + wire)
+        };
+
+        // Wake a rendezvous sender once the data has left the node.
+        match self.msgs[id].sender_wake {
+            SenderWake::Blocked => {
+                let rank = src;
+                self.ranks[rank].local = egress_done;
+                self.ranks[rank].status = Status::Runnable;
+                self.step(rank);
+                self.schedule_wake(rank, egress_done);
+            }
+            SenderWake::Req(r) => {
+                self.complete_req(src, r, egress_done);
+            }
+            SenderWake::None => {}
+        }
+        self.msgs[id].sender_wake = SenderWake::None;
+
+        if intra {
+            // Shared memory: latency + copy, no NIC.
+            self.schedule(start + link.latency + wire, Event::Delivered { msg: id });
+        } else {
+            self.schedule(start + link.latency + wire, Event::WireArrival { msg: id });
+        }
+    }
+
+    fn on_wire_arrival(&mut self, id: MsgId, now: SimTime) {
+        let m = &self.msgs[id];
+        let (src, dst, bytes) = (m.src as usize, m.dst as usize, m.bytes);
+        debug_assert!(!self.platform.same_node(src, dst));
+        let wire = bytes as f64 / self.platform.inter.bandwidth * m.wire_factor;
+        let delivered = if self.platform.nic_serialization {
+            let node = self.platform.node_of(dst);
+            let t = now.max(self.ingress_free[node]);
+            self.ingress_free[node] = t + wire;
+            t
+        } else {
+            now
+        };
+        if delivered <= now {
+            self.on_delivered(id, now);
+        } else {
+            self.schedule(delivered, Event::Delivered { msg: id });
+        }
+    }
+
+    fn on_delivered(&mut self, id: MsgId, now: SimTime) {
+        match self.msgs[id].state {
+            MsgState::WaitingDelivery => {
+                let recv = self.msgs[id].recv.expect("matched message must have recv info");
+                let dst = self.msgs[id].dst as usize;
+                let o_r = self.platform.recv_overhead;
+                let done = now.max(recv.posted_at) + self.perturb(dst, o_r);
+                match recv.wake {
+                    RecvWake::Blocking => {
+                        self.finish_recv(id, dst, recv.slot, done, None);
+                        self.ranks[dst].local = done;
+                        self.ranks[dst].status = Status::Runnable;
+                        self.step(dst);
+                        self.schedule_wake(dst, done);
+                    }
+                    RecvWake::Req(r) => {
+                        self.finish_recv(id, dst, recv.slot, done, Some(r));
+                    }
+                }
+            }
+            MsgState::Unmatched => {
+                self.msgs[id].state = MsgState::DeliveredUnmatched(now);
+            }
+            s => {
+                self.fail(format!("message {id} delivered in unexpected state {s:?}"));
+            }
+        }
+    }
+
+    /// Write payload into the slot, complete the request if any, retire msg.
+    fn finish_recv(&mut self, id: MsgId, rank: usize, slot: Slot, done: SimTime, req: Option<ReqId>) {
+        if self.cfg.record_messages {
+            let m = &self.msgs[id];
+            self.msg_events.push(MsgEvent {
+                src: m.src as usize,
+                dst: m.dst as usize,
+                tag: m.tag,
+                bytes: m.bytes,
+                sent: m.ready,
+                delivered: done,
+            });
+        }
+        if self.cfg.track_data {
+            if let Some(v) = self.msgs[id].payload.take() {
+                self.ranks[rank].slots[slot] = v;
+            }
+        }
+        self.msgs[id].state = MsgState::Done;
+        self.retire_msg(id);
+        if let Some(r) = req {
+            self.complete_req(rank, r, done);
+        }
+    }
+
+    fn complete_req(&mut self, rank: usize, req: ReqId, t: SimTime) {
+        debug_assert_eq!(self.ranks[rank].reqs[req], ReqState::Pending);
+        self.ranks[rank].reqs[req] = ReqState::Done(t);
+        if self.ranks[rank].status == Status::BlockedWaitAll {
+            // Peek the WaitAll the rank is parked on; if now satisfied,
+            // schedule the resume (advance() re-checks idempotently).
+            if let Some(t_resume) = self.waitall_resume_time(rank) {
+                self.schedule_wake(rank, t_resume);
+            }
+        }
+    }
+
+    /// If the rank's current op is a satisfied WaitAll, the time it resumes.
+    fn waitall_resume_time(&self, rank: usize) -> Option<SimTime> {
+        let st = &self.ranks[rank];
+        let op = self.programs[rank].segments.get(st.seg)?.ops.get(st.pc)?;
+        if let Op::WaitAll { reqs } = op {
+            let mut t = st.local;
+            for &r in reqs {
+                match st.reqs.get(r) {
+                    Some(ReqState::Done(d)) => t = t.max(*d),
+                    _ => return None,
+                }
+            }
+            Some(t)
+        } else {
+            None
+        }
+    }
+
+    /// Attempt to complete the WaitAll at the current pc. On success the
+    /// rank's local time advances and the requests are freed.
+    fn try_waitall(&mut self, rank: usize) -> bool {
+        let Some(t) = self.waitall_resume_time(rank) else {
+            // Validate requests are at least known.
+            let st = &self.ranks[rank];
+            if let Some(Op::WaitAll { reqs }) = self.programs[rank].segments.get(st.seg).and_then(|s| s.ops.get(st.pc))
+            {
+                for &r in reqs {
+                    if st.reqs.get(r).copied() == Some(ReqState::Free) {
+                        self.fail(format!("rank {rank} waits on request {r} that was never started"));
+                        return false;
+                    }
+                }
+            }
+            return false;
+        };
+        // Free the requests for reuse.
+        let reqs = {
+            let st = &self.ranks[rank];
+            match &self.programs[rank].segments[st.seg].ops[st.pc] {
+                Op::WaitAll { reqs } => reqs.clone(),
+                _ => unreachable!("try_waitall called on non-WaitAll op"),
+            }
+        };
+        for r in reqs {
+            self.ranks[rank].reqs[r] = ReqState::Free;
+        }
+        self.ranks[rank].local = t;
+        true
+    }
+
+    // -- message table ------------------------------------------------------
+
+    fn alloc_msg(&mut self, m: Msg) -> MsgId {
+        if let Some(id) = self.free_msgs.pop() {
+            self.msgs[id] = m;
+            id
+        } else {
+            self.msgs.push(m);
+            self.msgs.len() - 1
+        }
+    }
+
+    fn retire_msg(&mut self, id: MsgId) {
+        self.msgs[id].payload = None;
+        self.free_msgs.push(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::RankProgram;
+
+    fn run2(ops0: Vec<Op>, ops1: Vec<Op>) -> RunOutcome {
+        let platform = Platform::simcluster(2);
+        let job = Job::new(vec![RankProgram::from_ops(ops0), RankProgram::from_ops(ops1)]);
+        run(&platform, job, &SimConfig::tracking()).expect("run")
+    }
+
+    #[test]
+    fn eager_message_arrives_with_loggp_cost() {
+        let p = Platform::simcluster(2);
+        let bytes = 1024u64; // eager
+        let out = run2(
+            vec![Op::send(1, 1, bytes, 0)],
+            vec![Op::recv(0, 1, 0)],
+        );
+        // Receiver finish ≈ o_s + L + bytes/bw + o_r (both ranks on node 0).
+        let expect = p.send_overhead + p.intra.latency + bytes as f64 / p.intra.bandwidth + p.recv_overhead;
+        assert!((out.finish[1] - expect).abs() < 1e-12, "{} vs {}", out.finish[1], expect);
+        // Eager sender finishes after o_s only.
+        assert!((out.finish[0] - p.send_overhead).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rendezvous_sender_blocks_for_receiver() {
+        let p = Platform::simcluster(2);
+        let bytes = p.eager_threshold + 1;
+        let delay = 1.0;
+        let out = run2(
+            vec![Op::send(1, 1, bytes, 0)],
+            vec![Op::delay(delay), Op::recv(0, 1, 0)],
+        );
+        // Sender cannot complete before the receiver posts at t=1.
+        assert!(out.finish[0] > delay, "sender finished at {} before receiver posted", out.finish[0]);
+        assert!(out.finish[1] > out.finish[0]);
+    }
+
+    #[test]
+    fn eager_sender_does_not_block() {
+        let out = run2(
+            vec![Op::send(1, 1, 8, 0)],
+            vec![Op::delay(1.0), Op::recv(0, 1, 0)],
+        );
+        assert!(out.finish[0] < 1e-3, "eager sender blocked: {}", out.finish[0]);
+        assert!(out.finish[1] > 1.0);
+    }
+
+    #[test]
+    fn unexpected_message_is_buffered() {
+        // Send long before recv posted; matching must still succeed.
+        let out = run2(
+            vec![Op::send(1, 9, 64, 0)],
+            vec![Op::delay(0.5), Op::recv(0, 9, 0)],
+        );
+        assert!(out.finish[1] >= 0.5);
+        assert_eq!(out.messages, 1);
+    }
+
+    #[test]
+    fn fifo_matching_two_messages_same_tag() {
+        let out = run2(
+            vec![
+                Op::InitSlot { slot: 0, value: Value::movement_block(0, 0) },
+                Op::InitSlot { slot: 1, value: Value::movement_block(0, 1) },
+                Op::send(1, 5, 64, 0),
+                Op::send(1, 5, 64, 1),
+            ],
+            vec![Op::recv(0, 5, 0), Op::recv(0, 5, 1)],
+        );
+        let slots = out.slots.unwrap();
+        // First sent block lands in first posted recv.
+        assert!(slots[1][0].get((0, 0)).is_some());
+        assert!(slots[1][1].get((0, 1)).is_some());
+    }
+
+    #[test]
+    fn isend_irecv_waitall_round_trip() {
+        let out = run2(
+            vec![
+                Op::isend(1, 1, 256, 0, 0),
+                Op::Irecv { from: 1, tag: 2, slot: 1, req: 1 },
+                Op::WaitAll { reqs: vec![0, 1] },
+            ],
+            vec![
+                Op::Irecv { from: 0, tag: 1, slot: 0, req: 0 },
+                Op::isend(0, 2, 256, 1, 1),
+                Op::WaitAll { reqs: vec![0, 1] },
+            ],
+        );
+        assert!(out.finish[0] > 0.0 && out.finish[1] > 0.0);
+        assert_eq!(out.messages, 2);
+    }
+
+    #[test]
+    fn request_reuse_after_waitall_is_allowed() {
+        let mk = |peer: usize, first_send: bool| {
+            let mut ops = Vec::new();
+            for round in 0..3u64 {
+                if first_send {
+                    ops.push(Op::isend(peer, round, 64, 0, 0));
+                    ops.push(Op::Irecv { from: peer, tag: 100 + round, slot: 1, req: 1 });
+                } else {
+                    ops.push(Op::Irecv { from: peer, tag: round, slot: 1, req: 1 });
+                    ops.push(Op::isend(peer, 100 + round, 64, 0, 0));
+                }
+                ops.push(Op::WaitAll { reqs: vec![0, 1] });
+            }
+            ops
+        };
+        let out = run2(mk(1, true), mk(0, false));
+        assert_eq!(out.messages, 6);
+    }
+
+    #[test]
+    fn request_reuse_without_waitall_is_an_error() {
+        let platform = Platform::simcluster(2);
+        let job = Job::new(vec![
+            RankProgram::from_ops(vec![
+                Op::isend(1, 1, 64, 0, 0),
+                Op::isend(1, 2, 64, 0, 0),
+            ]),
+            RankProgram::from_ops(vec![Op::recv(0, 1, 0), Op::recv(0, 2, 0)]),
+        ]);
+        let err = run(&platform, job, &SimConfig::default()).unwrap_err();
+        assert!(matches!(err, SimError::InvalidProgram(_)), "{err:?}");
+    }
+
+    #[test]
+    fn self_send_is_rejected() {
+        let platform = Platform::simcluster(1);
+        let job = Job::new(vec![RankProgram::from_ops(vec![Op::send(0, 1, 64, 0)])]);
+        assert!(matches!(run(&platform, job, &SimConfig::default()), Err(SimError::InvalidProgram(_))));
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let out = {
+            let platform = Platform::simcluster(2);
+            let job = Job::new(vec![
+                RankProgram::from_ops(vec![Op::recv(1, 1, 0)]),
+                RankProgram::from_ops(vec![Op::recv(0, 1, 0)]),
+            ]);
+            run(&platform, job, &SimConfig::default())
+        };
+        match out {
+            Err(SimError::Deadlock { blocked, .. }) => assert_eq!(blocked.len(), 2),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rendezvous_deadlock_two_blocking_sends() {
+        // Classic head-to-head blocking Send deadlock (rendezvous).
+        let platform = Platform::simcluster(2);
+        let big = platform.eager_threshold + 1;
+        let job = Job::new(vec![
+            RankProgram::from_ops(vec![Op::send(1, 1, big, 0), Op::recv(1, 2, 0)]),
+            RankProgram::from_ops(vec![Op::send(0, 2, big, 0), Op::recv(0, 1, 0)]),
+        ]);
+        assert!(matches!(run(&platform, job, &SimConfig::default()), Err(SimError::Deadlock { .. })));
+    }
+
+    #[test]
+    fn eager_pair_of_blocking_sends_succeeds() {
+        // The same exchange with eager messages completes (buffered sends).
+        let out = run2(
+            vec![Op::send(1, 1, 64, 0), Op::recv(1, 2, 0)],
+            vec![Op::send(0, 2, 64, 0), Op::recv(0, 1, 0)],
+        );
+        assert_eq!(out.messages, 2);
+    }
+
+    #[test]
+    fn sleep_until_advances_time() {
+        let out = run2(
+            vec![Op::SleepUntil { time: 2.0 }],
+            vec![Op::SleepUntil { time: 1.0 }, Op::SleepUntil { time: 0.5 }],
+        );
+        assert_eq!(out.finish[0], 2.0);
+        assert_eq!(out.finish[1], 1.0); // never goes backwards
+    }
+
+    #[test]
+    fn phases_record_enter_and_exit() {
+        let platform = Platform::simcluster(2);
+        let label = Label { kind: 3, seq: 7 };
+        let mut p0 = RankProgram::new();
+        p0.push_anon(vec![Op::delay(0.25)]);
+        p0.push_labeled(label, vec![Op::send(1, 1, 64, 0)]);
+        let mut p1 = RankProgram::new();
+        p1.push_labeled(label, vec![Op::recv(0, 1, 0)]);
+        let out = run(&platform, Job::new(vec![p0, p1]), &SimConfig::default()).unwrap();
+        let recs = out.phases_for(label);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].rank, 0);
+        assert!((recs[0].enter - 0.25).abs() < 1e-12, "arrival reflects the delay");
+        assert!(recs[0].exit >= recs[0].enter);
+        assert_eq!(recs[1].enter, 0.0);
+        assert!(recs[1].exit > 0.25, "receiver exits only after the delayed sender sends");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let platform = Platform::hydra(4);
+        let mk = || {
+            let mut programs = Vec::new();
+            for r in 0..4usize {
+                let peer = r ^ 1;
+                let ops = if r < peer {
+                    vec![Op::compute(1e-4), Op::send(peer, 1, 4096, 0), Op::recv(peer, 2, 0)]
+                } else {
+                    vec![Op::recv(peer, 1, 0), Op::compute(5e-5), Op::send(peer, 2, 4096, 0)]
+                };
+                programs.push(RankProgram::from_ops(ops));
+            }
+            Job::new(programs)
+        };
+        let cfg = SimConfig { seed: 42, track_data: false, noise: NoiseModel::gaussian(0.05), ..SimConfig::default() };
+        let a = run(&platform, mk(), &cfg).unwrap();
+        let b = run(&platform, mk(), &cfg).unwrap();
+        assert_eq!(a.finish, b.finish);
+        let cfg2 = SimConfig { seed: 43, ..cfg };
+        let c = run(&platform, mk(), &cfg2).unwrap();
+        assert_ne!(a.finish, c.finish, "different seed should perturb timings");
+    }
+
+    #[test]
+    fn nic_serialization_creates_incast_contention() {
+        // 8 senders on different nodes all send to rank 0 concurrently;
+        // with NIC serialization the last delivery is pushed out.
+        let ranks = 9usize;
+        let mut platform = Platform::simcluster(ranks);
+        platform.cores_per_node = 1; // one rank per node → all inter-node
+        let bytes = 16 * 1024u64;
+        let mk_job = || {
+            let mut programs = vec![RankProgram::new(); ranks];
+            let mut ops0 = Vec::new();
+            for s in 1..ranks {
+                ops0.push(Op::Irecv { from: s, tag: s as u64, slot: 0, req: s - 1 });
+            }
+            ops0.push(Op::WaitAll { reqs: (0..ranks - 1).collect() });
+            programs[0] = RankProgram::from_ops(ops0);
+            for (s, prog) in programs.iter_mut().enumerate().skip(1) {
+                *prog = RankProgram::from_ops(vec![Op::send(0, s as u64, bytes, 0)]);
+            }
+            Job::new(programs)
+        };
+        let with = run(&platform, mk_job(), &SimConfig::default()).unwrap();
+        platform.nic_serialization = false;
+        let without = run(&platform, mk_job(), &SimConfig::default()).unwrap();
+        assert!(
+            with.finish[0] > without.finish[0] * 2.0,
+            "incast should be much slower with NIC serialization: {} vs {}",
+            with.finish[0],
+            without.finish[0]
+        );
+    }
+
+    #[test]
+    fn dataflow_payload_travels() {
+        let out = run2(
+            vec![
+                Op::InitSlot { slot: 0, value: Value::reduce_input(0, 0, 4) },
+                Op::send(1, 1, 1024, 0),
+            ],
+            vec![
+                Op::InitSlot { slot: 0, value: Value::reduce_input(1, 0, 4) },
+                Op::recv(0, 1, 1),
+                Op::ReduceLocal { from: 1, into: 0, bytes: 1024 },
+            ],
+        );
+        assert!(out.data_errors.is_empty(), "{:?}", out.data_errors);
+        let slots = out.slots.unwrap();
+        for s in 0..4 {
+            assert!(slots[1][0].get((0, s)).unwrap().is_full(2));
+        }
+    }
+
+    #[test]
+    fn double_reduce_is_reported() {
+        let out = run2(
+            vec![
+                Op::InitSlot { slot: 0, value: Value::reduce_input(0, 0, 1) },
+                Op::InitSlot { slot: 1, value: Value::reduce_input(0, 0, 1) },
+                Op::ReduceLocal { from: 1, into: 0, bytes: 8 },
+            ],
+            vec![],
+        );
+        assert_eq!(out.data_errors.len(), 1);
+    }
+
+    #[test]
+    fn mismatched_platform_rank_count_rejected() {
+        let platform = Platform::simcluster(4);
+        let job = Job::new(vec![RankProgram::new(); 2]);
+        assert!(matches!(run(&platform, job, &SimConfig::default()), Err(SimError::InvalidProgram(_))));
+    }
+
+    #[test]
+    fn compute_noise_only_when_noisy() {
+        let platform = Platform::simcluster(1);
+        let cfg = SimConfig { seed: 9, track_data: false, noise: NoiseModel::gaussian(0.2), ..SimConfig::default() };
+        let exact = run(
+            &platform,
+            Job::new(vec![RankProgram::from_ops(vec![Op::delay(1.0)])]),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(exact.finish[0], 1.0, "Op::delay must be exact under noise");
+        let noisy = run(
+            &platform,
+            Job::new(vec![RankProgram::from_ops(vec![Op::compute(1.0)])]),
+            &cfg,
+        )
+        .unwrap();
+        assert_ne!(noisy.finish[0], 1.0, "Op::compute should be perturbed");
+    }
+}

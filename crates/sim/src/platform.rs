@@ -1,0 +1,332 @@
+//! Cluster platform models: a two-level hierarchy (cores within a node,
+//! nodes behind a switch), with per-level latency/bandwidth, protocol
+//! thresholds, and CPU overheads.
+//!
+//! Four presets are provided:
+//!
+//! * [`Platform::simcluster`] — the noise-free simulation platform of §III-A
+//!   of the paper (32 nodes × 32 cores, 10 Gb/s, 1 µs intra / 2 µs inter).
+//! * [`Platform::hydra`], [`Platform::galileo100`], [`Platform::discoverer`]
+//!   — analogues of the three production machines of Table I. They are not
+//!   one-to-one copies of the real interconnects; they are configured so the
+//!   *qualitative* regime differences (latency/bandwidth ratio, protocol
+//!   threshold, noise level) that make the three machines disagree about the
+//!   best algorithm are present.
+
+use serde::{Deserialize, Serialize};
+
+use crate::noise::NoiseModel;
+use crate::time::SimTime;
+
+/// Latency/bandwidth parameters of one level of the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkParams {
+    /// One-way latency in seconds.
+    pub latency: SimTime,
+    /// Bandwidth in bytes per second.
+    pub bandwidth: f64,
+}
+
+impl LinkParams {
+    /// Pure transfer time of `bytes` over this link (no contention).
+    #[inline]
+    pub fn transfer_time(&self, bytes: u64) -> SimTime {
+        self.latency + bytes as f64 / self.bandwidth
+    }
+}
+
+/// Identifier of a machine preset (used by experiment configs and tuning
+/// tables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MachineId {
+    /// Noise-free simulation platform of §III-A.
+    SimCluster,
+    /// Hydra analogue (36 nodes, Omni-Path 100 Gb/s, Table I).
+    Hydra,
+    /// Galileo100 analogue (554 nodes, IB HDR100, Table I).
+    Galileo100,
+    /// Discoverer analogue (1128 nodes, IB HDR Dragonfly+, Table I).
+    Discoverer,
+}
+
+impl MachineId {
+    /// All machine presets, simulation platform first.
+    pub const ALL: [MachineId; 4] =
+        [MachineId::SimCluster, MachineId::Hydra, MachineId::Galileo100, MachineId::Discoverer];
+
+    /// The three "real machine" presets of Table I.
+    pub const REAL: [MachineId; 3] = [MachineId::Hydra, MachineId::Galileo100, MachineId::Discoverer];
+
+    /// Human-readable name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            MachineId::SimCluster => "SimCluster",
+            MachineId::Hydra => "Hydra",
+            MachineId::Galileo100 => "Galileo100",
+            MachineId::Discoverer => "Discoverer",
+        }
+    }
+}
+
+impl std::fmt::Display for MachineId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for MachineId {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "simcluster" | "sim" => Ok(MachineId::SimCluster),
+            "hydra" => Ok(MachineId::Hydra),
+            "galileo100" | "galileo" | "g100" => Ok(MachineId::Galileo100),
+            "discoverer" | "disco" => Ok(MachineId::Discoverer),
+        other => Err(format!("unknown machine '{other}' (expected simcluster|hydra|galileo100|discoverer)")),
+        }
+    }
+}
+
+/// A concrete platform: machine parameters plus the number of MPI ranks laid
+/// out on it (block mapping: rank `r` runs on node `r / cores_per_node`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Platform {
+    /// Which preset this platform was built from.
+    pub machine: MachineId,
+    /// Number of compute nodes available.
+    pub nodes: usize,
+    /// Cores (rank slots) per node.
+    pub cores_per_node: usize,
+    /// Number of MPI ranks placed on the machine.
+    pub ranks: usize,
+    /// Shared-memory (intra-node) link parameters.
+    pub intra: LinkParams,
+    /// Network (inter-node) link parameters.
+    pub inter: LinkParams,
+    /// Messages strictly larger than this use the rendezvous protocol.
+    pub eager_threshold: u64,
+    /// Per-message sender CPU overhead `o_s` (seconds).
+    pub send_overhead: SimTime,
+    /// Per-message receiver CPU overhead `o_r` (seconds).
+    pub recv_overhead: SimTime,
+    /// Local reduction cost per byte (seconds/byte).
+    pub reduce_cost_per_byte: f64,
+    /// Model per-node NIC egress/ingress serialization (contention). The
+    /// simulation study and all experiments keep this on; an ablation bench
+    /// turns it off.
+    pub nic_serialization: bool,
+    /// Default noise model of this machine (used by the micro-benchmark
+    /// layer; the engine itself takes noise via `SimConfig`).
+    pub default_noise: NoiseModel,
+}
+
+impl Platform {
+    /// Build a platform preset with `ranks` MPI ranks.
+    ///
+    /// # Panics
+    /// Panics if `ranks` is zero or exceeds the machine capacity.
+    pub fn preset(machine: MachineId, ranks: usize) -> Self {
+        let p = match machine {
+            MachineId::SimCluster => Self {
+                machine,
+                nodes: 32,
+                cores_per_node: 32,
+                ranks,
+                intra: LinkParams { latency: 1e-6, bandwidth: 1.25e9 },
+                inter: LinkParams { latency: 2e-6, bandwidth: 1.25e9 },
+                eager_threshold: 16 * 1024,
+                send_overhead: 0.5e-6,
+                recv_overhead: 0.5e-6,
+                reduce_cost_per_byte: 5e-11,
+                nic_serialization: true,
+                default_noise: NoiseModel::None,
+            },
+            MachineId::Hydra => Self {
+                machine,
+                nodes: 36,
+                cores_per_node: 32,
+                ranks,
+                intra: LinkParams { latency: 0.3e-6, bandwidth: 8.0e9 },
+                inter: LinkParams { latency: 1.1e-6, bandwidth: 12.5e9 },
+                eager_threshold: 16 * 1024,
+                send_overhead: 0.2e-6,
+                recv_overhead: 0.2e-6,
+                reduce_cost_per_byte: 4e-11,
+                nic_serialization: true,
+                default_noise: NoiseModel::gaussian(0.02),
+            },
+            MachineId::Galileo100 => Self {
+                machine,
+                nodes: 554,
+                cores_per_node: 48,
+                ranks,
+                intra: LinkParams { latency: 0.35e-6, bandwidth: 9.0e9 },
+                inter: LinkParams { latency: 1.0e-6, bandwidth: 12.5e9 },
+                eager_threshold: 64 * 1024,
+                send_overhead: 0.25e-6,
+                recv_overhead: 0.25e-6,
+                reduce_cost_per_byte: 4.5e-11,
+                nic_serialization: true,
+                default_noise: NoiseModel::heavy_tail(0.03, 4.0, 1.5e-3),
+            },
+            MachineId::Discoverer => Self {
+                machine,
+                nodes: 1128,
+                cores_per_node: 128,
+                ranks,
+                intra: LinkParams { latency: 0.4e-6, bandwidth: 10.0e9 },
+                inter: LinkParams { latency: 1.3e-6, bandwidth: 25.0e9 },
+                eager_threshold: 32 * 1024,
+                send_overhead: 0.3e-6,
+                recv_overhead: 0.3e-6,
+                reduce_cost_per_byte: 5e-11,
+                nic_serialization: true,
+                default_noise: NoiseModel::heavy_tail(0.025, 6.0, 2.0e-3),
+            },
+        };
+        assert!(ranks > 0, "platform needs at least one rank");
+        assert!(
+            ranks <= p.nodes * p.cores_per_node,
+            "{} ranks exceed capacity {} of {}",
+            ranks,
+            p.nodes * p.cores_per_node,
+            machine.name()
+        );
+        p
+    }
+
+    /// The noise-free simulation platform of §III-A with `ranks` ranks.
+    pub fn simcluster(ranks: usize) -> Self {
+        Self::preset(MachineId::SimCluster, ranks)
+    }
+
+    /// Hydra analogue with `ranks` ranks.
+    pub fn hydra(ranks: usize) -> Self {
+        Self::preset(MachineId::Hydra, ranks)
+    }
+
+    /// Galileo100 analogue with `ranks` ranks.
+    pub fn galileo100(ranks: usize) -> Self {
+        Self::preset(MachineId::Galileo100, ranks)
+    }
+
+    /// Discoverer analogue with `ranks` ranks.
+    pub fn discoverer(ranks: usize) -> Self {
+        Self::preset(MachineId::Discoverer, ranks)
+    }
+
+    /// Node hosting `rank` (block mapping).
+    #[inline]
+    pub fn node_of(&self, rank: usize) -> usize {
+        rank / self.cores_per_node
+    }
+
+    /// Whether two ranks share a node.
+    #[inline]
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Link parameters governing a message from `a` to `b`.
+    #[inline]
+    pub fn link(&self, a: usize, b: usize) -> &LinkParams {
+        if self.same_node(a, b) {
+            &self.intra
+        } else {
+            &self.inter
+        }
+    }
+
+    /// Number of nodes actually occupied by the rank layout.
+    pub fn occupied_nodes(&self) -> usize {
+        self.ranks.div_ceil(self.cores_per_node)
+    }
+
+    /// Whether a message of `bytes` uses the eager protocol.
+    #[inline]
+    pub fn is_eager(&self, bytes: u64) -> bool {
+        bytes <= self.eager_threshold
+    }
+
+    /// Uncontended point-to-point time estimate (`o_s + L + bytes/bw`),
+    /// useful for back-of-envelope model checks in tests.
+    pub fn p2p_estimate(&self, from: usize, to: usize, bytes: u64) -> SimTime {
+        self.send_overhead + self.link(from, to).transfer_time(bytes) + self.recv_overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_mapping_places_ranks() {
+        let p = Platform::simcluster(64);
+        assert_eq!(p.node_of(0), 0);
+        assert_eq!(p.node_of(31), 0);
+        assert_eq!(p.node_of(32), 1);
+        assert!(p.same_node(0, 31));
+        assert!(!p.same_node(31, 32));
+        assert_eq!(p.occupied_nodes(), 2);
+    }
+
+    #[test]
+    fn link_selection_follows_hierarchy() {
+        let p = Platform::simcluster(64);
+        assert_eq!(p.link(0, 1).latency, p.intra.latency);
+        assert_eq!(p.link(0, 32).latency, p.inter.latency);
+    }
+
+    #[test]
+    #[should_panic]
+    fn capacity_is_enforced() {
+        let _ = Platform::simcluster(32 * 32 + 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ranks_rejected() {
+        let _ = Platform::simcluster(0);
+    }
+
+    #[test]
+    fn presets_have_distinct_regimes() {
+        let h = Platform::hydra(4);
+        let g = Platform::galileo100(4);
+        let d = Platform::discoverer(4);
+        // The FT message size (32768 B) must fall in different protocol
+        // regimes on different machines — one lever behind Fig. 7/8.
+        assert!(!h.is_eager(32_768));
+        assert!(g.is_eager(32_768));
+        assert!(d.is_eager(32_768));
+        assert!(!d.is_eager(32_769));
+        assert!(d.inter.bandwidth > h.inter.bandwidth);
+    }
+
+    #[test]
+    fn transfer_time_is_latency_plus_bandwidth_term() {
+        let l = LinkParams { latency: 1e-6, bandwidth: 1e9 };
+        let t = l.transfer_time(1000);
+        assert!((t - (1e-6 + 1e-6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn machine_id_parses_and_displays() {
+        use std::str::FromStr;
+        for m in MachineId::ALL {
+            let round = MachineId::from_str(&m.name().to_lowercase()).unwrap();
+            assert_eq!(round, m);
+        }
+        assert!(MachineId::from_str("nope").is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = Platform::hydra(8);
+        let s = serde_json::to_string(&p).unwrap();
+        let back: Platform = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.machine, p.machine);
+        assert_eq!(back.ranks, p.ranks);
+        assert_eq!(back.eager_threshold, p.eager_threshold);
+    }
+}

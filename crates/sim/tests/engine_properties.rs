@@ -1,0 +1,228 @@
+//! Property-based tests of the discrete-event engine: physical lower
+//! bounds, monotonicity, determinism, and conservation properties that must
+//! hold for *arbitrary* deadlock-free programs.
+
+use pap_sim::{run, Job, NoiseModel, Op, Platform, RankProgram, SimConfig};
+use proptest::prelude::*;
+
+/// A random but deadlock-free exchange pattern: a sequence of rounds; in
+/// each round, ranks are paired up and exchange one message via
+/// isend/irecv/waitall.
+#[derive(Debug, Clone)]
+struct ExchangePlan {
+    p: usize,
+    /// Per round: a permutation-derived pairing (list of (a, b) disjoint).
+    rounds: Vec<Vec<(usize, usize)>>,
+    bytes: u64,
+    delays: Vec<f64>,
+}
+
+fn plan_strategy() -> impl Strategy<Value = ExchangePlan> {
+    (2usize..12, 1usize..6, 1u64..100_000, any::<u64>()).prop_map(|(p, nrounds, bytes, seed)| {
+        // Deterministic pseudo-pairings from the seed.
+        let mut rounds = Vec::new();
+        let mut s = seed;
+        for _ in 0..nrounds {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let shift = (s >> 33) as usize % (p - 1) + 1;
+            let mut used = vec![false; p];
+            let mut pairs = Vec::new();
+            for a in 0..p {
+                let b = (a + shift) % p;
+                if !used[a] && !used[b] && a != b {
+                    used[a] = true;
+                    used[b] = true;
+                    pairs.push((a, b));
+                }
+            }
+            rounds.push(pairs);
+        }
+        let delays = (0..p).map(|r| ((seed >> (r % 13)) & 0xFF) as f64 * 1e-6).collect();
+        ExchangePlan { p, rounds, bytes, delays }
+    })
+}
+
+fn build_job(plan: &ExchangePlan, with_delays: bool) -> Job {
+    let mut programs: Vec<Vec<Op>> = (0..plan.p)
+        .map(|r| {
+            if with_delays {
+                vec![Op::delay(plan.delays[r])]
+            } else {
+                Vec::new()
+            }
+        })
+        .collect();
+    for (round, pairs) in plan.rounds.iter().enumerate() {
+        for &(a, b) in pairs {
+            let tag = round as u64;
+            programs[a].push(Op::isend(b, tag, plan.bytes, 0, 0));
+            programs[a].push(Op::irecv(b, tag + 1000, 0, 1));
+            programs[a].push(Op::waitall(vec![0, 1]));
+            programs[b].push(Op::irecv(a, tag, 0, 0));
+            programs[b].push(Op::isend(a, tag + 1000, plan.bytes, 0, 1));
+            programs[b].push(Op::waitall(vec![0, 1]));
+        }
+    }
+    Job::new(programs.into_iter().map(RankProgram::from_ops).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Every pairing plan completes (no deadlock) and respects the physical
+    /// lower bound: any rank that communicated needs at least one
+    /// latency + transfer.
+    #[test]
+    fn exchanges_complete_with_physical_lower_bound(plan in plan_strategy()) {
+        let platform = Platform::simcluster(plan.p);
+        let out = run(&platform, build_job(&plan, false), &SimConfig::default()).unwrap();
+        let total_pairs: usize = plan.rounds.iter().map(Vec::len).sum();
+        prop_assert_eq!(out.messages, 2 * total_pairs as u64);
+        if total_pairs > 0 {
+            let min_cost = platform.intra.latency + plan.bytes as f64 / platform.intra.bandwidth;
+            prop_assert!(out.makespan() >= min_cost, "makespan {} < {}", out.makespan(), min_cost);
+        }
+    }
+
+    /// Adding per-rank start delays never makes any rank finish *earlier*
+    /// (event-time monotonicity), and shifts the makespan by at most the
+    /// largest delay (the exchange structure itself is unchanged).
+    #[test]
+    fn delays_shift_but_never_speed_up(plan in plan_strategy()) {
+        let platform = Platform::simcluster(plan.p);
+        let base = run(&platform, build_job(&plan, false), &SimConfig::default()).unwrap();
+        let delayed = run(&platform, build_job(&plan, true), &SimConfig::default()).unwrap();
+        let max_delay = plan.delays.iter().copied().fold(0.0f64, f64::max);
+        for r in 0..plan.p {
+            prop_assert!(delayed.finish[r] + 1e-15 >= base.finish[r], "rank {r} sped up");
+        }
+        prop_assert!(delayed.makespan() <= base.makespan() + max_delay + 1e-12);
+    }
+
+    /// Determinism: two runs with identical config are bit-identical, and
+    /// event/message counts match.
+    #[test]
+    fn runs_are_bit_deterministic(plan in plan_strategy(), seed in any::<u64>()) {
+        let platform = Platform::hydra(plan.p);
+        let cfg = SimConfig { seed, track_data: false, noise: NoiseModel::heavy_tail(0.05, 50.0, 1e-4), ..SimConfig::default() };
+        let a = run(&platform, build_job(&plan, true), &cfg).unwrap();
+        let b = run(&platform, build_job(&plan, true), &cfg).unwrap();
+        prop_assert_eq!(a.finish.clone(), b.finish.clone());
+        prop_assert_eq!(a.events, b.events);
+        prop_assert_eq!(a.messages, b.messages);
+    }
+
+    /// Bigger messages never arrive earlier (transfer-time monotonicity),
+    /// all else equal.
+    #[test]
+    fn transfer_time_monotone_in_bytes(small in 1u64..10_000, extra in 1u64..1_000_000) {
+        let platform = Platform::simcluster(2);
+        let t = |bytes: u64| {
+            let job = Job::new(vec![
+                RankProgram::from_ops(vec![Op::send(1, 1, bytes, 0)]),
+                RankProgram::from_ops(vec![Op::recv(0, 1, 0)]),
+            ]);
+            run(&platform, job, &SimConfig::default()).unwrap().finish[1]
+        };
+        prop_assert!(t(small + extra) >= t(small));
+    }
+
+    /// Eager sends never block the sender on the receiver: the sender's
+    /// finish time is independent of an arbitrary receiver-side delay.
+    #[test]
+    fn eager_sender_independent_of_receiver(delay_us in 0.0f64..100_000.0) {
+        let platform = Platform::simcluster(2);
+        let job = |d: f64| Job::new(vec![
+            RankProgram::from_ops(vec![Op::send(1, 1, 512, 0)]),
+            RankProgram::from_ops(vec![Op::delay(d), Op::recv(0, 1, 0)]),
+        ]);
+        let a = run(&platform, job(0.0), &SimConfig::default()).unwrap();
+        let b = run(&platform, job(delay_us * 1e-6), &SimConfig::default()).unwrap();
+        prop_assert_eq!(a.finish[0], b.finish[0]);
+    }
+
+    /// Rendezvous senders DO wait for the receiver: the sender's finish
+    /// tracks the receiver's posting time once the delay dominates.
+    #[test]
+    fn rendezvous_sender_tracks_receiver(delay_ms in 1.0f64..100.0) {
+        let platform = Platform::simcluster(2);
+        let bytes = platform.eager_threshold + 1;
+        let d = delay_ms * 1e-3;
+        let job = Job::new(vec![
+            RankProgram::from_ops(vec![Op::send(1, 1, bytes, 0)]),
+            RankProgram::from_ops(vec![Op::delay(d), Op::recv(0, 1, 0)]),
+        ]);
+        let out = run(&platform, job, &SimConfig::default()).unwrap();
+        prop_assert!(out.finish[0] >= d, "rendezvous sender finished at {} before receiver posted at {}", out.finish[0], d);
+    }
+
+    /// NIC serialization conserves bandwidth: n concurrent inter-node
+    /// transfers into one node take at least n·bytes/bw.
+    #[test]
+    fn incast_respects_aggregate_bandwidth(n in 2usize..10, kib in 1u64..64) {
+        let bytes = kib * 1024;
+        let ranks = n + 1;
+        let mut platform = Platform::simcluster(ranks);
+        platform.cores_per_node = 1; // all inter-node
+        let mut programs = vec![RankProgram::new(); ranks];
+        let mut ops0 = Vec::new();
+        for s in 1..ranks {
+            ops0.push(Op::irecv(s, s as u64, 0, s - 1));
+        }
+        ops0.push(Op::waitall((0..ranks - 1).collect()));
+        programs[0] = RankProgram::from_ops(ops0);
+        for (s, prog) in programs.iter_mut().enumerate().skip(1) {
+            *prog = RankProgram::from_ops(vec![Op::send(0, s as u64, bytes, 0)]);
+        }
+        let out = run(&platform, Job::new(programs), &SimConfig::default()).unwrap();
+        let floor = n as f64 * bytes as f64 / platform.inter.bandwidth;
+        prop_assert!(out.finish[0] >= floor, "incast {} finished below bandwidth floor {}", out.finish[0], floor);
+    }
+}
+
+/// Analytical anchor: a binomial broadcast of a tiny message on an
+/// uncontended intra-node platform should cost about
+/// `ceil(log2 p) · (o_s + o_r(post) + L + o_r(complete))` — the engine's
+/// constants must compose the LogGP terms, not invent time.
+#[test]
+fn binomial_bcast_matches_logp_estimate() {
+    for p in [4usize, 8, 16, 32] {
+        let platform = Platform::simcluster(p);
+        // Hand-built binomial bcast over vranks (root 0), 1-byte payload.
+        let mut programs: Vec<RankProgram> = Vec::new();
+        for me in 0..p {
+            let mut ops = Vec::new();
+            if me != 0 {
+                let parent = me & (me - 1);
+                ops.push(Op::recv(parent, me as u64, 0));
+            }
+            let mut k = 0;
+            while (1usize << k) <= me || me == 0 {
+                let child = me + (1 << k);
+                if me != 0 && (me & (1 << k)) != 0 {
+                    break;
+                }
+                if child < p && (child & (child - 1)) == me {
+                    ops.push(Op::send(child, child as u64, 1, 0));
+                }
+                k += 1;
+                if (1 << k) >= p {
+                    break;
+                }
+            }
+            programs.push(RankProgram::from_ops(ops));
+        }
+        let out = run(&platform, Job::new(programs), &SimConfig::default()).unwrap();
+        let depth = (usize::BITS - (p - 1).leading_zeros()) as f64;
+        let hop = platform.send_overhead
+            + platform.intra.latency
+            + 1.0 / platform.intra.bandwidth
+            + 2.0 * platform.recv_overhead; // posting + completion
+        let expect = depth * hop;
+        let got = out.makespan();
+        assert!(
+            (got - expect).abs() < expect * 0.35,
+            "p={p}: makespan {got:.2e} vs LogP estimate {expect:.2e}"
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! From tuning to deployment: build a tuning table with the robust policy,
+//! compile it into a library-side decision function, and watch it answer
+//! per-invocation algorithm queries — including sizes and communicator
+//! sizes nobody tuned. Also demonstrates ReproMPI-style adaptive
+//! repetitions.
+//!
+//! Run with: `cargo run --release --example decision_logic`
+
+use pap::arrival::{generate, Shape};
+use pap::collectives::{CollSpec, CollectiveKind};
+use pap::core::{tune_machine, DecisionLogic, DecisionSource, TunePlan};
+use pap::microbench::{measure_adaptive, BenchConfig, StopRule};
+use pap::sim::Platform;
+
+fn main() {
+    let ranks = 64;
+    let platform = Platform::hydra(ranks);
+
+    // 1. Tune with the paper's robust policy (small grid for the demo).
+    let plan = TunePlan {
+        sizes: vec![8, 32 * 1024, 1 << 20],
+        ..TunePlan::default()
+    };
+    let cfg = BenchConfig::real_machine(3);
+    let (table, records) = tune_machine(&platform, &plan, &cfg).expect("tuning");
+    println!("tuned {} decision points on {}:", records.len(), platform.machine);
+    for r in &records {
+        println!(
+            "  {} @ {:>8} B -> A{} (status quo: A{})",
+            r.entry.kind, r.entry.bytes, r.entry.alg, r.status_quo
+        );
+    }
+
+    // 2. Compile into the decision function an MPI library would query.
+    let logic = DecisionLogic::new(platform.machine.name(), table);
+    println!("\nper-invocation decisions (incl. untuned points):");
+    for (kind, p, bytes) in [
+        (CollectiveKind::Alltoall, ranks, 32 * 1024u64),
+        (CollectiveKind::Alltoall, ranks, 100_000),
+        (CollectiveKind::Reduce, 48, 8),
+        (CollectiveKind::Allgather, ranks, 4096),
+    ] {
+        let (alg, src) = logic.decide(kind, p, bytes);
+        println!("  {kind} p={p} {bytes} B -> A{alg} ({src:?})");
+        assert!(src == DecisionSource::Exact || src == DecisionSource::Interpolated || src == DecisionSource::Fallback);
+    }
+
+    // 3. Adaptive repetitions: noisy cells take more repetitions than quiet
+    //    ones, automatically.
+    let rule = StopRule { min_reps: 3, max_reps: 40, rel_ci: 0.03 };
+    let spec = CollSpec::new(CollectiveKind::Alltoall, 3, 1024);
+    let pattern = generate(Shape::Random, ranks, 1e-4, 7);
+    let out = measure_adaptive(&platform, &spec, &pattern, &cfg, &rule).expect("adaptive");
+    println!(
+        "\nadaptive measurement: {} repetitions, converged={}, d̂ = {:.3} ms ± {:.1}%",
+        out.stats.len(),
+        out.converged,
+        out.stats.mean_last() * 1e3,
+        out.rel_ci * 100.0
+    );
+}

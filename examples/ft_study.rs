@@ -1,0 +1,87 @@
+//! Application case study (§V of the paper): trace the FT proxy's Alltoall
+//! arrival pattern, replay it in micro-benchmarks, and show that selecting
+//! by robustness predicts the in-application winner while the No-delay
+//! micro-benchmark can mislead.
+//!
+//! Run with: `cargo run --release --example ft_study [-- --ranks N]`
+
+use pap::apps::{run_ft, FtConfig};
+use pap::arrival::Shape;
+use pap::collectives::registry::experiment_ids;
+use pap::collectives::CollectiveKind;
+use pap::core::{select, BenchMatrix, SelectionPolicy};
+use pap::microbench::{sweep, BenchConfig, SkewPolicy};
+use pap::sim::Platform;
+use pap::tracer::{ideal_observer, CollectiveTrace, TracerConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ranks = args
+        .windows(2)
+        .find(|w| w[0] == "--ranks")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(128);
+
+    let platform = Platform::galileo100(ranks);
+    let ft_cfg = FtConfig::class_d_like(ranks);
+
+    // 1. Trace the application: per-call, per-rank Alltoall arrival times.
+    let (report, out) = run_ft(&platform, &ft_cfg).expect("ft");
+    let trace = CollectiveTrace::from_outcome(
+        &out,
+        ranks,
+        CollectiveKind::Alltoall.label_kind(),
+        &TracerConfig::default(),
+        ideal_observer,
+    );
+    let mp = trace.to_measured_pattern("ft_scenario");
+    let (shape, cos) = mp.classify();
+    println!(
+        "FT on {}: runtime {:.3} s (compute {:.3} s); traced {} Alltoall calls, \
+         max skew {:.0} us, pattern resembles '{shape}' (cos {cos:.2})",
+        platform.machine,
+        report.total_runtime,
+        report.compute_time,
+        trace.len(),
+        trace.max_observed_skew() * 1e6,
+    );
+
+    // 2. Micro-benchmark all Alltoall algorithms under the artificial suite
+    //    sized to the traced skew, plus the traced FT-Scenario itself.
+    let algs = experiment_ids(CollectiveKind::Alltoall);
+    let cfg = BenchConfig::real_machine(3);
+    let sw = sweep(
+        &platform,
+        CollectiveKind::Alltoall,
+        &algs,
+        &Shape::SUITE,
+        ft_cfg.bytes_per_pair,
+        SkewPolicy::Fixed(trace.max_observed_skew()),
+        &[mp.to_pattern()],
+        &cfg,
+    )
+    .expect("sweep");
+    let matrix = BenchMatrix::from_sweep(&sw);
+
+    // 3. Compare selection policies against the in-application truth.
+    let no_delay = select(&matrix, &SelectionPolicy::NoDelayFastest).unwrap();
+    let robust =
+        select(&matrix, &SelectionPolicy::RobustAverage { exclude: vec!["ft_scenario".into()] }).unwrap();
+    let oracle = select(&matrix, &SelectionPolicy::BestUnderPattern("ft_scenario".into())).unwrap();
+
+    let mut truths = Vec::new();
+    for &alg in &algs {
+        let rt = run_ft(&platform, &ft_cfg.clone().with_alltoall(alg)).expect("ft").0.total_runtime;
+        truths.push((alg, rt));
+        println!("  FT with Alltoall A{alg}: {rt:.3} s");
+    }
+    let ft_best = truths.iter().min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap().0;
+    println!("No-delay pick: A{no_delay} | robust pick: A{robust} | FT-Scenario oracle: A{oracle} | actual FT winner: A{ft_best}");
+
+    let rt_of = |alg: u8| truths.iter().find(|(a, _)| *a == alg).unwrap().1;
+    println!(
+        "runtime cost of the No-delay pick vs the robust pick: {:.3} s vs {:.3} s",
+        rt_of(no_delay),
+        rt_of(robust)
+    );
+}

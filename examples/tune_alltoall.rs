@@ -1,0 +1,57 @@
+//! Arrival-pattern-aware tuning of MPI_Alltoall for one machine: sweep all
+//! algorithms over the pattern suite, compare the status-quo (No-delay)
+//! selection with the paper's robust selection, and emit a tuning table.
+//!
+//! Run with: `cargo run --release --example tune_alltoall [-- --ranks N]`
+
+use pap::arrival::Shape;
+use pap::collectives::registry::experiment_ids;
+use pap::collectives::CollectiveKind;
+use pap::core::report::render_normalized_table;
+use pap::core::{select, BenchMatrix, SelectionPolicy, TuningEntry, TuningTable};
+use pap::microbench::{sweep, BenchConfig, SkewPolicy};
+use pap::sim::Platform;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ranks = args
+        .windows(2)
+        .find(|w| w[0] == "--ranks")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(128);
+
+    let platform = Platform::hydra(ranks);
+    let kind = CollectiveKind::Alltoall;
+    let algs = experiment_ids(kind);
+    let cfg = BenchConfig::real_machine(3);
+    let mut table = TuningTable::new();
+
+    for bytes in [1024u64, 32 * 1024, 256 * 1024] {
+        // Benchmark every algorithm under the full artificial pattern
+        // suite, skew calibrated to the average No-delay runtime (§III-B).
+        let sw = sweep(&platform, kind, &algs, &Shape::SUITE, bytes, SkewPolicy::FactorOfAvg(1.0), &[], &cfg)
+            .expect("sweep");
+        let matrix = BenchMatrix::from_sweep(&sw);
+        println!("{}", render_normalized_table(&matrix, &[]));
+
+        let status_quo = select(&matrix, &SelectionPolicy::NoDelayFastest).expect("selection");
+        let robust = select(&matrix, &SelectionPolicy::robust()).expect("selection");
+        println!(
+            "{} B: status-quo pick = A{status_quo}, robust pick = A{robust}{}\n",
+            bytes,
+            if status_quo == robust { " (agree)" } else { "  <-- arrival patterns change the decision" }
+        );
+
+        table.insert(TuningEntry {
+            machine: platform.machine.name().to_string(),
+            kind,
+            ranks,
+            bytes,
+            alg: robust,
+            policy: "robust_average".into(),
+        });
+    }
+
+    println!("tuning table (what an MPI library decision map would load):");
+    println!("{}", table.to_json());
+}

@@ -1,0 +1,320 @@
+//! `papctl` — command-line front end to the toolkit.
+//!
+//! ```text
+//! papctl machines
+//! papctl algorithms [collective]
+//! papctl pattern <shape> <ranks> <skew_us> [--seed N]
+//! papctl bench <machine> <collective> <alg> <bytes> [--ranks N] [--shape S] [--skew-us X] [--nrep N]
+//! papctl sweep <machine> <collective> <bytes> [--ranks N] [--nrep N]
+//! papctl tune  <machine> [--ranks N] [--nrep N]            # emits a tuning-table JSON
+//! papctl ft    <machine> [--ranks N] [--alg A] [--iters N]
+//! papctl trace <machine> [--ranks N]                       # FT pattern in file format
+//! ```
+
+use std::process::ExitCode;
+use std::str::FromStr;
+
+use pap::apps::{run_ft, FtConfig};
+use pap::arrival::{generate, render_pattern_file, Shape};
+use pap::collectives::registry::{algorithms, experiment_ids};
+use pap::collectives::{CollSpec, CollectiveKind};
+use pap::core::report::render_normalized_table;
+use pap::core::{select, tune_machine, BenchMatrix, SelectionPolicy, TunePlan};
+use pap::microbench::{measure, sweep, BenchConfig, SkewPolicy};
+use pap::sim::{MachineId, Platform};
+use pap::tracer::{ideal_observer, CollectiveTrace, TracerConfig};
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: Vec<String>) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = if it.peek().is_some_and(|n| !n.starts_with("--")) { it.next() } else { None };
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(a);
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn flag<T: FromStr>(&self, name: &str, default: T) -> T {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn pos(&self, i: usize) -> Result<&str, String> {
+        self.positional.get(i).map(String::as_str).ok_or_else(|| "missing argument".to_string())
+    }
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        eprintln!("{}", USAGE);
+        return ExitCode::FAILURE;
+    }
+    let cmd = raw[0].clone();
+    let args = Args::parse(raw[1..].to_vec());
+    let result = match cmd.as_str() {
+        "machines" => machines(),
+        "algorithms" => cmd_algorithms(&args),
+        "pattern" => cmd_pattern(&args),
+        "bench" => cmd_bench(&args),
+        "sweep" => cmd_sweep(&args),
+        "tune" => cmd_tune(&args),
+        "ft" => cmd_ft(&args),
+        "trace" => cmd_trace(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("papctl: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: papctl <machines|algorithms|pattern|bench|sweep|tune|ft|trace|help> …
+run `papctl help` or see the module docs for argument details";
+
+fn machines() -> Result<(), String> {
+    println!("machine      nodes  cores/node  inter-bw[GB/s]  inter-lat[us]  eager[B]");
+    for id in MachineId::ALL {
+        let p = Platform::preset(id, 1);
+        println!(
+            "{:<12} {:>5}  {:>10}  {:>14.1}  {:>13.2}  {:>8}",
+            id.name(),
+            p.nodes,
+            p.cores_per_node,
+            p.inter.bandwidth / 1e9,
+            p.inter.latency * 1e6,
+            p.eager_threshold
+        );
+    }
+    Ok(())
+}
+
+fn cmd_algorithms(args: &Args) -> Result<(), String> {
+    let kinds: Vec<CollectiveKind> = match args.positional.first() {
+        Some(k) => vec![k.parse()?],
+        None => vec![
+            CollectiveKind::Reduce,
+            CollectiveKind::Allreduce,
+            CollectiveKind::Alltoall,
+            CollectiveKind::Allgather,
+            CollectiveKind::Bcast,
+            CollectiveKind::Gather,
+            CollectiveKind::Scatter,
+            CollectiveKind::Barrier,
+        ],
+    };
+    for kind in kinds {
+        println!("{kind}:");
+        for a in algorithms(kind) {
+            println!(
+                "  {} {} ({}){}",
+                a.id,
+                a.name,
+                a.abbrev,
+                a.smpi_alias.map(|s| format!(" smpi:{s}")).unwrap_or_default()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_pattern(args: &Args) -> Result<(), String> {
+    let shape: Shape = args.pos(0)?.parse()?;
+    let p: usize = args.pos(1)?.parse().map_err(|_| "ranks must be a number")?;
+    let skew_us: f64 = args.pos(2)?.parse().map_err(|_| "skew_us must be a number")?;
+    let seed = args.flag("seed", 1u64);
+    let pat = generate(shape, p, skew_us * 1e-6, seed);
+    print!("{}", render_pattern_file(&pat));
+    Ok(())
+}
+
+fn platform_from(args: &Args, machine_pos: usize) -> Result<Platform, String> {
+    let machine: MachineId = args.pos(machine_pos)?.parse()?;
+    let ranks = args.flag("ranks", 64usize);
+    Ok(Platform::preset(machine, ranks))
+}
+
+fn cmd_bench(args: &Args) -> Result<(), String> {
+    let platform = platform_from(args, 0)?;
+    let kind: CollectiveKind = args.pos(1)?.parse()?;
+    let alg: u8 = args.pos(2)?.parse().map_err(|_| "alg must be a number")?;
+    let bytes: u64 = args.pos(3)?.parse().map_err(|_| "bytes must be a number")?;
+    let shape: Shape = args.flag("shape", "no_delay".to_string()).parse()?;
+    let skew_us: f64 = args.flag("skew-us", 0.0);
+    let nrep = args.flag("nrep", 3usize);
+
+    let pattern = generate(shape, platform.ranks, skew_us * 1e-6, args.flag("seed", 1u64));
+    let cfg = if platform.machine == MachineId::SimCluster {
+        BenchConfig::simulation()
+    } else {
+        BenchConfig::real_machine(nrep)
+    };
+    let spec = CollSpec::new(kind, alg, bytes);
+    let stats = measure(&platform, &spec, &pattern, &cfg).map_err(|e| e.to_string())?;
+    println!(
+        "{} A{alg} {bytes} B on {} ({} ranks), pattern {}: d̂ mean {:.3} ms (min {:.3}, max {:.3}); d* mean {:.3} ms",
+        kind,
+        platform.machine,
+        platform.ranks,
+        pattern.name,
+        stats.mean_last() * 1e3,
+        stats.min_last() * 1e3,
+        stats.max_last() * 1e3,
+        stats.mean_total() * 1e3,
+    );
+    Ok(())
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let platform = platform_from(args, 0)?;
+    let kind: CollectiveKind = args.pos(1)?.parse()?;
+    let bytes: u64 = args.pos(2)?.parse().map_err(|_| "bytes must be a number")?;
+    let nrep = args.flag("nrep", 3usize);
+    let algs = experiment_ids(kind);
+    let cfg = if platform.machine == MachineId::SimCluster {
+        BenchConfig::simulation()
+    } else {
+        BenchConfig::real_machine(nrep)
+    };
+    let sw = sweep(&platform, kind, &algs, &Shape::SUITE, bytes, SkewPolicy::FactorOfAvg(1.0), &[], &cfg)
+        .map_err(|e| e.to_string())?;
+    let m = BenchMatrix::from_sweep(&sw);
+    if args.flags.iter().any(|(n, _)| n == "json") {
+        println!("{}", serde_json::to_string_pretty(&m).map_err(|e| e.to_string())?);
+        return Ok(());
+    }
+    print!("{}", render_normalized_table(&m, &[]));
+    let nd = select(&m, &SelectionPolicy::NoDelayFastest)?;
+    let robust = select(&m, &SelectionPolicy::robust())?;
+    println!("status-quo pick: A{nd}; robust pick: A{robust}");
+    Ok(())
+}
+
+fn cmd_tune(args: &Args) -> Result<(), String> {
+    let platform = platform_from(args, 0)?;
+    let nrep = args.flag("nrep", 3usize);
+    let cfg = if platform.machine == MachineId::SimCluster {
+        BenchConfig::simulation()
+    } else {
+        BenchConfig::real_machine(nrep)
+    };
+    let plan = TunePlan::default();
+    let (table, records) = tune_machine(&platform, &plan, &cfg)?;
+    for rec in &records {
+        eprintln!(
+            "tuned {} @ {} B -> A{}{}",
+            rec.entry.kind,
+            rec.entry.bytes,
+            rec.entry.alg,
+            if rec.entry.alg == rec.status_quo {
+                String::new()
+            } else {
+                format!("  (status quo would pick A{})", rec.status_quo)
+            }
+        );
+    }
+    println!("{}", table.to_json());
+    Ok(())
+}
+
+fn cmd_ft(args: &Args) -> Result<(), String> {
+    let platform = platform_from(args, 0)?;
+    let mut cfg = FtConfig::class_d_like(platform.ranks);
+    cfg.alltoall_alg = args.flag("alg", cfg.alltoall_alg);
+    cfg.iterations = args.flag("iters", cfg.iterations);
+    cfg.seed = args.flag("seed", cfg.seed);
+    let (rep, _) = run_ft(&platform, &cfg).map_err(|e| e.to_string())?;
+    println!(
+        "FT on {} ({} ranks, alltoall A{}, {} iters): runtime {:.3} s, compute {:.3} s, MPI {:.3} s ({:.0}%)",
+        platform.machine,
+        platform.ranks,
+        cfg.alltoall_alg,
+        cfg.iterations,
+        rep.total_runtime,
+        rep.compute_time,
+        rep.mpi_time,
+        rep.mpi_time / rep.total_runtime * 100.0,
+    );
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    let platform = platform_from(args, 0)?;
+    let mut cfg = FtConfig::class_d_like(platform.ranks);
+    cfg.seed = args.flag("seed", cfg.seed);
+    let (_, out) = run_ft(&platform, &cfg).map_err(|e| e.to_string())?;
+    let tr = CollectiveTrace::from_outcome(
+        &out,
+        platform.ranks,
+        CollectiveKind::Alltoall.label_kind(),
+        &TracerConfig::default(),
+        ideal_observer,
+    );
+    let pat = tr.to_measured_pattern("ft_scenario").to_pattern();
+    eprintln!(
+        "# traced {} calls on {}; max skew {:.1} us",
+        tr.len(),
+        platform.machine,
+        tr.max_observed_skew() * 1e6
+    );
+    print!("{}", render_pattern_file(&pat));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Args {
+        Args::parse(v.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn parses_positionals_and_flags() {
+        let a = args(&["hydra", "reduce", "--ranks", "128", "--quickish"]);
+        assert_eq!(a.pos(0).unwrap(), "hydra");
+        assert_eq!(a.pos(1).unwrap(), "reduce");
+        assert_eq!(a.flag("ranks", 0usize), 128);
+        assert!(a.pos(2).is_err());
+        // Valueless flag falls back to default.
+        assert_eq!(a.flag("quickish", 7u32), 7);
+    }
+
+    #[test]
+    fn flag_defaults_apply() {
+        let a = args(&["hydra"]);
+        assert_eq!(a.flag("nrep", 3usize), 3);
+        assert_eq!(a.flag("shape", "no_delay".to_string()), "no_delay");
+    }
+
+    #[test]
+    fn platform_from_parses_machines() {
+        let a = args(&["galileo100", "--ranks", "32"]);
+        let p = platform_from(&a, 0).unwrap();
+        assert_eq!(p.machine.name(), "Galileo100");
+        assert_eq!(p.ranks, 32);
+        assert!(platform_from(&args(&["nonsense"]), 0).is_err());
+    }
+}

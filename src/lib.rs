@@ -1,0 +1,32 @@
+//! # pap — arrival-pattern-aware MPI collective algorithm selection
+//!
+//! Meta-crate re-exporting the full toolkit built for the reproduction of
+//! *"MPI Collective Algorithm Selection in the Presence of Process Arrival
+//! Patterns"* (Salimi Beni, Cosenza, Hunold — IEEE CLUSTER 2024).
+//!
+//! The workspace layers, bottom-up:
+//!
+//! * [`sim`] — discrete-event cluster/MPI simulator (SimGrid/SMPI substitute)
+//! * [`collectives`] — the collective algorithms of Open MPI/SMPI as message
+//!   schedules with verified dataflow
+//! * [`arrival`] — artificial & measured process arrival patterns
+//! * [`clocksync`] — drifting clocks, HCA3-style synchronization, harmonized
+//!   starts
+//! * [`tracer`] — collective tracing (PMPI-substitute)
+//! * [`microbench`] — ReproMPI-style micro-benchmark harness with pattern
+//!   injection
+//! * [`apps`] — NAS-FT proxy and other mini-apps
+//! * [`core`] — the paper's contribution: robustness analysis and
+//!   arrival-aware algorithm selection
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for the
+//! experiment index.
+
+pub use pap_apps as apps;
+pub use pap_arrival as arrival;
+pub use pap_clocksync as clocksync;
+pub use pap_collectives as collectives;
+pub use pap_core as core;
+pub use pap_microbench as microbench;
+pub use pap_sim as sim;
+pub use pap_tracer as tracer;

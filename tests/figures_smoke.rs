@@ -1,0 +1,87 @@
+//! Smoke tests: every table/figure driver produces well-formed output at a
+//! tiny scale (the real regeneration commands are documented in
+//! EXPERIMENTS.md).
+
+use pap_bench::{ext_allgather, ext_skew_factor, fig1, fig2, fig3, fig4, fig5, fig6, figs789, table1, table2, Scale};
+use pap::collectives::CollectiveKind;
+
+#[test]
+fn tables() {
+    let t1 = table1();
+    for m in ["SimCluster", "Hydra", "Galileo100", "Discoverer"] {
+        assert!(t1.contains(m), "missing machine {m}");
+    }
+    let t2 = table2();
+    for name in ["Binomial", "In-order Binary", "Rabenseifner", "Modified Bruck", "Linear with Sync"] {
+        assert!(t2.contains(name), "missing algorithm {name}");
+    }
+}
+
+#[test]
+fn fig1_emits_one_line_per_rank() {
+    let scale = Scale::tiny();
+    let out = fig1(scale);
+    assert!(out.contains("MPI_Alltoall calls in FT on Galileo100"));
+    let data_lines = out
+        .lines()
+        .filter(|l| l.contains(", ") && l.chars().next().is_some_and(|c| c.is_ascii_digit()))
+        .count();
+    assert_eq!(data_lines, scale.ranks);
+}
+
+#[test]
+fn fig2_fig3_static() {
+    assert!(fig2().contains("d^ <= d*"));
+    let f3 = fig3();
+    for shape in ["ascending", "descending", "random", "last_delayed", "v_shape", "half_step"] {
+        assert!(f3.contains(shape));
+    }
+}
+
+#[test]
+fn fig4_covers_all_patterns_and_sizes() {
+    let out = fig4(CollectiveKind::Reduce, Scale::tiny());
+    for pattern in ["no_delay", "ascending", "last_delayed", "half_step"] {
+        assert!(out.contains(pattern), "missing row {pattern}");
+    }
+    assert!(out.contains("legend:"));
+    // Each pattern row has one winner cell per size (3 sizes in quick mode).
+    let row = out.lines().find(|l| l.starts_with("last_delayed")).unwrap();
+    assert_eq!(row.matches(" A").count(), 3, "{row}");
+}
+
+#[test]
+fn fig5_and_fig6_render_matrices() {
+    let scale = Scale::tiny();
+    let f5 = fig5(scale);
+    assert!(f5.contains("MPI_Reduce") && f5.contains("MPI_Allreduce") && f5.contains("MPI_Alltoall"));
+    assert!(f5.contains('*'), "fastest markers expected");
+    let f6 = fig6(scale);
+    assert!(f6.contains("robustness"));
+    assert!(f6.contains("no_delay"));
+}
+
+#[test]
+fn figs789_combined_driver() {
+    let out = figs789(Scale::tiny());
+    assert!(out.contains("Fig. 7"));
+    assert!(out.contains("Fig. 8"));
+    assert!(out.contains("Fig. 9"));
+    assert!(out.contains("ft_scenario"));
+    assert!(out.contains("proj_no_delay"));
+    // All three machines appear.
+    for m in ["Hydra", "Galileo100", "Discoverer"] {
+        assert!(out.contains(m), "missing {m}");
+    }
+}
+
+#[test]
+fn extension_drivers_render() {
+    let scale = Scale::tiny();
+    let ag = ext_allgather(scale);
+    assert!(ag.contains("MPI_Allgather"));
+    assert!(ag.contains("robust pick"));
+    let sf = ext_skew_factor(scale);
+    assert!(sf.contains("0.5") && sf.contains("1.5"));
+    assert_eq!(sf.lines().count(), 2 + 3 + 1);
+}
