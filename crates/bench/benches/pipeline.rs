@@ -2,7 +2,7 @@
 //! pattern + collective + stats) and the selection pipeline — the cost of
 //! regenerating one figure cell.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pap_arrival::{generate, Shape};
 use pap_collectives::{CollSpec, CollectiveKind};
 use pap_core::{select, BenchMatrix, SelectionPolicy};
@@ -42,5 +42,45 @@ fn bench_selection_pipeline(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_measure_cell, bench_selection_pipeline);
+/// The PR's headline number: cells/second of a realistic sweep grid at one
+/// worker thread vs all cores (the numbers land in BENCH_sweep.json).
+fn bench_sweep_throughput(c: &mut Criterion) {
+    let platform = Platform::hydra(32);
+    let cfg = BenchConfig::real_machine(2);
+    let algs = [1u8, 2, 3, 4];
+    let shapes = Shape::SUITE;
+    let cells = (algs.len() * shapes.len()) as u64;
+
+    let before = pap_parallel::threads();
+    let all = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut counts = vec![1usize];
+    if all > 1 {
+        counts.push(all);
+    }
+
+    let mut g = c.benchmark_group("pipeline/sweep_throughput");
+    g.throughput(Throughput::Elements(cells));
+    for &threads in &counts {
+        pap_parallel::set_threads(threads);
+        g.bench_function(BenchmarkId::new("threads", threads), |b| {
+            b.iter(|| {
+                sweep(
+                    &platform,
+                    CollectiveKind::Alltoall,
+                    &algs,
+                    &shapes,
+                    1024,
+                    SkewPolicy::FactorOfAvg(1.0),
+                    &[],
+                    &cfg,
+                )
+                .unwrap()
+            });
+        });
+    }
+    g.finish();
+    pap_parallel::set_threads(before);
+}
+
+criterion_group!(benches, bench_measure_cell, bench_selection_pipeline, bench_sweep_throughput);
 criterion_main!(benches);

@@ -182,13 +182,14 @@ pub fn fig4(kind: CollectiveKind, scale: Scale) -> String {
     }
     s.push('\n');
 
-    let mut matrices = Vec::new();
-    for &size in &sizes {
+    // One independent sweep per size, fanned out; results come back in
+    // size order so the rendering below is unchanged.
+    let matrices: Vec<BenchMatrix> = pap_parallel::par_map(&sizes, |_, &size| {
         let sw = sweep(&platform, kind, &algs, &shapes, size, SkewPolicy::FactorOfAvg(1.5), &[], &cfg)
             .expect("sweep");
-        matrices.push(BenchMatrix::from_sweep(&sw));
         eprintln!("fig4 {kind}: size {size} done");
-    }
+        BenchMatrix::from_sweep(&sw)
+    });
 
     s.push_str(&format!("{:<14}", "pattern"));
     for &size in &sizes {
@@ -234,18 +235,32 @@ pub fn fig5(scale: Scale) -> String {
         "Fig. 5 — impact of arrival patterns on collective runtimes ({} with {} processes)\n",
         platform.machine, platform.ranks
     );
-    for kind in CollectiveKind::PAPER {
+    // The (collective × size) sweeps are independent: fan out and render
+    // each worker's table, then stitch in grid order.
+    let grid = fig56_grid(scale);
+    let tables = pap_parallel::par_map(&grid, |_, &(kind, size)| {
         let algs = experiment_ids(kind);
-        for &size in &fig5_sizes(scale) {
-            let sw = sweep(&platform, kind, &algs, &FIG5_SHAPES, size, SkewPolicy::FactorOfAvg(1.0), &[], &cfg)
-                .expect("sweep");
-            let m = BenchMatrix::from_sweep(&sw);
-            s.push_str(&render_runtime_table(&m, 0.05));
-            s.push('\n');
-            eprintln!("fig5 {kind}: size {size} done");
-        }
+        let sw = sweep(&platform, kind, &algs, &FIG5_SHAPES, size, SkewPolicy::FactorOfAvg(1.0), &[], &cfg)
+            .expect("sweep");
+        eprintln!("fig5 {kind}: size {size} done");
+        render_runtime_table(&BenchMatrix::from_sweep(&sw), 0.05)
+    });
+    for t in tables {
+        s.push_str(&t);
+        s.push('\n');
     }
     s
+}
+
+/// The (collective × size) grid shared by Figs. 5 and 6.
+fn fig56_grid(scale: Scale) -> Vec<(CollectiveKind, u64)> {
+    let mut grid = Vec::new();
+    for kind in CollectiveKind::PAPER {
+        for &size in &fig5_sizes(scale) {
+            grid.push((kind, size));
+        }
+    }
+    grid
 }
 
 /// Fig. 6: robustness — each algorithm gets a pattern scaled to its own
@@ -258,16 +273,17 @@ pub fn fig6(scale: Scale) -> String {
         "Fig. 6 — robustness of collective algorithms against arrival patterns ({}, {} processes)\n",
         platform.machine, platform.ranks
     );
-    for kind in CollectiveKind::PAPER {
+    let grid = fig56_grid(scale);
+    let tables = pap_parallel::par_map(&grid, |_, &(kind, size)| {
         let algs = experiment_ids(kind);
-        for &size in &fig5_sizes(scale) {
-            let sw = sweep(&platform, kind, &algs, &FIG5_SHAPES, size, SkewPolicy::PerAlgorithm, &[], &cfg)
-                .expect("sweep");
-            let m = BenchMatrix::from_sweep(&sw);
-            s.push_str(&render_robustness_table(&m, 0.25).expect("no_delay row present"));
-            s.push('\n');
-            eprintln!("fig6 {kind}: size {size} done");
-        }
+        let sw = sweep(&platform, kind, &algs, &FIG5_SHAPES, size, SkewPolicy::PerAlgorithm, &[], &cfg)
+            .expect("sweep");
+        eprintln!("fig6 {kind}: size {size} done");
+        render_robustness_table(&BenchMatrix::from_sweep(&sw), 0.25).expect("no_delay row present")
+    });
+    for t in tables {
+        s.push_str(&t);
+        s.push('\n');
     }
     s
 }
@@ -391,8 +407,10 @@ pub fn fig7(scale: Scale) -> String {
         scale.ranks,
         32 * 1024
     );
-    for machine in MachineId::REAL {
-        s.push_str(&render_fig7_section(&machine_study(machine, scale)));
+    let sections =
+        pap_parallel::par_map(&MachineId::REAL, |_, &m| render_fig7_section(&machine_study(m, scale)));
+    for sec in sections {
+        s.push_str(&sec);
     }
     s
 }
@@ -404,8 +422,10 @@ pub fn fig8(scale: Scale) -> String {
         "Fig. 8 — normalized Alltoall runtimes with arrival patterns incl. FT-Scenario ({} processes)\n",
         scale.ranks
     );
-    for machine in MachineId::REAL {
-        s.push_str(&render_fig8_section(&machine_study(machine, scale)));
+    let sections =
+        pap_parallel::par_map(&MachineId::REAL, |_, &m| render_fig8_section(&machine_study(m, scale)));
+    for sec in sections {
+        s.push_str(&sec);
     }
     s
 }
@@ -414,7 +434,10 @@ pub fn fig8(scale: Scale) -> String {
 /// is expensive, so this driver computes it once per machine and renders
 /// all three figures.
 pub fn figs789(scale: Scale) -> String {
-    let studies: Vec<MachineStudy> = MachineId::REAL.iter().map(|&m| machine_study(m, scale)).collect();
+    // The three machine studies (trace + matrix + FT runs) are independent;
+    // fan them out, keeping machine order.
+    let studies: Vec<MachineStudy> =
+        pap_parallel::par_map(&MachineId::REAL, |_, &m| machine_study(m, scale));
     let mut s = format!(
         "Fig. 7 — FT runtime vs No-delay MPI_Alltoall microbenchmark ({} processes, {} B per pair)\n",
         scale.ranks,
@@ -515,35 +538,6 @@ pub fn ext_allgather(scale: Scale) -> String {
 }
 
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn tables_render() {
-        let t1 = table1();
-        assert!(t1.contains("Hydra") && t1.contains("Discoverer"));
-        let t2 = table2();
-        assert!(t2.contains("Modified Bruck") && t2.contains("In-order Binary"));
-    }
-
-    #[test]
-    fn human_sizes() {
-        assert_eq!(human_size(8), "8B");
-        assert_eq!(human_size(2048), "2KiB");
-        assert_eq!(human_size(1 << 20), "1MiB");
-    }
-
-    #[test]
-    fn fig2_and_fig3_render() {
-        let f2 = fig2();
-        assert!(f2.contains("last delay"));
-        let f3 = fig3();
-        assert!(f3.contains("ascending"));
-        assert_eq!(f3.lines().count(), 2 + 8);
-    }
-}
-
 /// Extension experiment: the §III-B skew-factor ablation. The paper
 /// generated patterns with skews {0.5, 1.0, 1.5}·t̄ᵃ and reports only the
 /// 1.5 factor "as it had the strongest influence"; this driver quantifies
@@ -585,4 +579,33 @@ pub fn ext_skew_factor(scale: Scale) -> String {
     }
     s.push_str("(larger factors shift more cells with larger gains — why the paper reports 1.5)\n");
     s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_render() {
+        let t1 = table1();
+        assert!(t1.contains("Hydra") && t1.contains("Discoverer"));
+        let t2 = table2();
+        assert!(t2.contains("Modified Bruck") && t2.contains("In-order Binary"));
+    }
+
+    #[test]
+    fn human_sizes() {
+        assert_eq!(human_size(8), "8B");
+        assert_eq!(human_size(2048), "2KiB");
+        assert_eq!(human_size(1 << 20), "1MiB");
+    }
+
+    #[test]
+    fn fig2_and_fig3_render() {
+        let f2 = fig2();
+        assert!(f2.contains("last delay"));
+        let f3 = fig3();
+        assert!(f3.contains("ascending"));
+        assert_eq!(f3.lines().count(), 2 + 8);
+    }
 }

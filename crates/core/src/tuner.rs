@@ -52,6 +52,11 @@ pub struct TuneRecord {
 
 /// Run the plan: one sweep per (collective, size), one decision each.
 ///
+/// The (collective × size) grid fans out over [`pap_parallel::par_map`];
+/// each cell's inner sweep then runs sequentially inside its worker, so
+/// total parallelism stays bounded by the thread knob. Results come back
+/// in grid order, identical to the sequential loop.
+///
 /// Returns the tuning table and the per-cell evidence. Errors from the
 /// harness are propagated with the offending cell named.
 pub fn tune_machine(
@@ -59,27 +64,36 @@ pub fn tune_machine(
     plan: &TunePlan,
     cfg: &BenchConfig,
 ) -> Result<(TuningTable, Vec<TuneRecord>), String> {
+    let mut grid: Vec<(CollectiveKind, u64)> = Vec::new();
+    for &kind in &plan.kinds {
+        for &bytes in &plan.sizes {
+            grid.push((kind, bytes));
+        }
+    }
+    let tuned = pap_parallel::par_map(&grid, |_, &(kind, bytes)| {
+        let algs = experiment_ids(kind);
+        let sw: SweepResult = sweep(platform, kind, &algs, &plan.shapes, bytes, plan.skew, &[], cfg)
+            .map_err(|e| format!("{kind} @ {bytes} B: {e}"))?;
+        let matrix = BenchMatrix::from_sweep(&sw);
+        let alg = select(&matrix, &plan.policy)?;
+        let status_quo = select(&matrix, &SelectionPolicy::NoDelayFastest)?;
+        let entry = TuningEntry {
+            machine: platform.machine.name().to_string(),
+            kind,
+            ranks: platform.ranks,
+            bytes,
+            alg,
+            policy: format!("{:?}", plan.policy),
+        };
+        Ok::<_, String>(TuneRecord { entry, matrix, status_quo })
+    });
+
     let mut table = TuningTable::new();
     let mut records = Vec::new();
-    for &kind in &plan.kinds {
-        let algs = experiment_ids(kind);
-        for &bytes in &plan.sizes {
-            let sw: SweepResult = sweep(platform, kind, &algs, &plan.shapes, bytes, plan.skew, &[], cfg)
-                .map_err(|e| format!("{kind} @ {bytes} B: {e}"))?;
-            let matrix = BenchMatrix::from_sweep(&sw);
-            let alg = select(&matrix, &plan.policy)?;
-            let status_quo = select(&matrix, &SelectionPolicy::NoDelayFastest)?;
-            let entry = TuningEntry {
-                machine: platform.machine.name().to_string(),
-                kind,
-                ranks: platform.ranks,
-                bytes,
-                alg,
-                policy: format!("{:?}", plan.policy),
-            };
-            table.insert(entry.clone());
-            records.push(TuneRecord { entry, matrix, status_quo });
-        }
+    for rec in tuned {
+        let rec = rec?;
+        table.insert(rec.entry.clone());
+        records.push(rec);
     }
     Ok((table, records))
 }

@@ -2,8 +2,8 @@
 
 use pap_arrival::ArrivalPattern;
 use pap_clocksync::{harmonize_starts, sync_cluster, ClusterClocks, Hca3Config};
-use pap_collectives::{build, BuildError, CollSpec, TAG_SPAN};
-use pap_sim::{run, Job, Label, NoiseModel, Op, Platform, RankProgram, SimConfig, SimError};
+use pap_collectives::{build, BuildError, CollSpec};
+use pap_sim::{run_ref, Job, Label, NoiseModel, Op, Platform, RankProgram, SimConfig, SimError};
 use serde::{Deserialize, Serialize};
 
 /// Harness configuration.
@@ -123,35 +123,36 @@ pub fn measure(
     // Start far enough in the future that harmonize targets are reachable.
     let target = 1e-3;
 
+    // Each repetition is an independent simulation; the schedule, harmonized
+    // starts and pattern delays are identical across reps (only the noise
+    // seed differs), so the program is built once and re-run.
+    let built = build(spec, p)?;
+    let starts: Vec<f64> = match &clock_ctx {
+        Some((clocks, calib)) => harmonize_starts(clocks, calib, p, |r| platform.node_of(r), target, 0.0),
+        None => vec![target; p],
+    };
+    let mut programs = Vec::with_capacity(p);
+    for (r, ops) in built.rank_ops.into_iter().enumerate() {
+        let mut prog = RankProgram::new();
+        prog.push_anon(vec![
+            Op::SleepUntil { time: starts[r] },
+            Op::delay(pattern.delay_of(r)),
+        ]);
+        prog.push_labeled(label, ops);
+        programs.push(prog);
+    }
+    let job = Job::new(programs);
+
     let mut reps = Vec::with_capacity(cfg.nrep);
     for rep in 0..cfg.nrep {
-        let spec_rep = spec.clone().with_tag_base(spec.tag_base + rep as u64 * TAG_SPAN);
-        let built = build(&spec_rep, p)?;
-        let starts: Vec<f64> = match &clock_ctx {
-            Some((clocks, calib)) => {
-                harmonize_starts(clocks, calib, p, |r| platform.node_of(r), target, 0.0)
-            }
-            None => vec![target; p],
-        };
-        let mut programs = Vec::with_capacity(p);
-        for (r, ops) in built.rank_ops.into_iter().enumerate() {
-            let mut prog = RankProgram::new();
-            prog.push_anon(vec![
-                Op::SleepUntil { time: starts[r] },
-                Op::delay(pattern.delay_of(r)),
-            ]);
-            prog.push_labeled(label, ops);
-            programs.push(prog);
-        }
         let sim_cfg = SimConfig {
             seed: cfg.seed.wrapping_add(rep as u64).wrapping_mul(0x9E37_79B9),
             track_data: false,
             noise,
             ..SimConfig::default()
         };
-        let out = run(platform, Job::new(programs), &sim_cfg)?;
-        let recs = out.phases_for(label);
-        debug_assert_eq!(recs.len(), p);
+        let out = run_ref(platform, &job, &sim_cfg)?;
+        debug_assert_eq!(out.phases_for_iter(label).count(), p);
 
         // Observe timestamps through the (possibly imperfect) clocks.
         let obs = |rank: usize, t: f64| match &clock_ctx {
@@ -161,7 +162,8 @@ pub fn measure(
         let mut max_a = f64::NEG_INFINITY;
         let mut min_a = f64::INFINITY;
         let mut max_e = f64::NEG_INFINITY;
-        for rec in &recs {
+        // Min/max folds are order-independent: use the no-alloc iterator.
+        for rec in out.phases_for_iter(label) {
             let a = obs(rec.rank, rec.enter);
             let e = obs(rec.rank, rec.exit);
             max_a = max_a.max(a);

@@ -63,8 +63,20 @@ impl SweepResult {
     }
 }
 
+/// Derive an independent per-run seed from the base seed and the run's
+/// position in the grid (SplitMix64 finalizer). A pure function of
+/// `(base, index)`, so the parallel fan-out produces byte-identical output
+/// to the sequential loop at any thread count.
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    let mut z = base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// §III-B: the average `NoDelay` runtime `t̄ᵃ` over a set of algorithms,
-/// used to size artificial skews.
+/// used to size artificial skews. The per-algorithm runs are independent
+/// and fan out over [`pap_parallel::par_map`].
 pub fn calibrate_avg_runtime(
     platform: &Platform,
     kind: CollectiveKind,
@@ -72,9 +84,10 @@ pub fn calibrate_avg_runtime(
     bytes: u64,
     cfg: &BenchConfig,
 ) -> Result<f64, BenchError> {
+    let times = pap_parallel::par_map(algs, |i, &alg| no_delay_runtime(platform, kind, alg, bytes, cfg, i));
     let mut sum = 0.0;
-    for (i, &alg) in algs.iter().enumerate() {
-        sum += no_delay_runtime(platform, kind, alg, bytes, cfg, i)?;
+    for t in times {
+        sum += t?;
     }
     Ok(sum / algs.len() as f64)
 }
@@ -117,37 +130,55 @@ pub fn sweep(
         SkewPolicy::PerAlgorithm => None,
     };
     let per_alg_skew: Vec<f64> = match policy {
-        SkewPolicy::PerAlgorithm => algs
-            .iter()
-            .enumerate()
-            .map(|(i, &a)| no_delay_runtime(platform, kind, a, bytes, cfg, i))
-            .collect::<Result<_, _>>()?,
+        SkewPolicy::PerAlgorithm => {
+            let runs = pap_parallel::par_map(algs, |i, &a| no_delay_runtime(platform, kind, a, bytes, cfg, i));
+            runs.into_iter().collect::<Result<_, _>>()?
+        }
         _ => vec![fixed_skew.unwrap_or(0.0); algs.len()],
     };
 
-    let mut cells = Vec::new();
     let mut pattern_names: Vec<String> = shapes.iter().map(|s| s.name().to_string()).collect();
     pattern_names.extend(extra_patterns.iter().map(|e| e.name.clone()));
 
+    // Flatten the (algorithm × pattern) grid into independent run
+    // descriptors, then fan out. Each run derives its own measurement seed
+    // from (base seed, grid index) and a disjoint tag range from the same
+    // index, so runs are fully independent and the parallel result is
+    // byte-identical to the sequential loop. Patterns are still generated
+    // from the *base* seed: every algorithm must face the same pattern.
+    enum Pat<'p> {
+        Shape(Shape),
+        Extra(&'p ArrivalPattern),
+    }
+    let mut grid: Vec<(usize, u8, u64, Pat<'_>)> = Vec::new();
     for (ai, &alg) in algs.iter().enumerate() {
-        let skew = per_alg_skew[ai];
         let mut cell_id = 0u64;
         for &shape in shapes {
-            let pat = generate(shape, p, if shape == Shape::NoDelay { 0.0 } else { skew }, cfg.seed);
-            let spec = CollSpec::new(kind, alg, bytes)
-                .with_tag_base((ai as u64 * 64 + cell_id) * 8 * TAG_SPAN);
-            let stats = measure(platform, &spec, &pat, cfg)?;
-            cells.push(SweepCell { alg, pattern: shape.name().to_string(), skew: pat.max_skew(), stats });
+            grid.push((ai, alg, cell_id, Pat::Shape(shape)));
             cell_id += 1;
         }
         for extra in extra_patterns {
-            let spec = CollSpec::new(kind, alg, bytes)
-                .with_tag_base((ai as u64 * 64 + cell_id) * 8 * TAG_SPAN);
-            let stats = measure(platform, &spec, extra, cfg)?;
-            cells.push(SweepCell { alg, pattern: extra.name.clone(), skew: extra.max_skew(), stats });
+            grid.push((ai, alg, cell_id, Pat::Extra(extra)));
             cell_id += 1;
         }
     }
+
+    let runs = pap_parallel::par_map(&grid, |gi, &(ai, alg, cell_id, ref pat)| {
+        let skew = per_alg_skew[ai];
+        let spec =
+            CollSpec::new(kind, alg, bytes).with_tag_base((ai as u64 * 64 + cell_id) * 8 * TAG_SPAN);
+        let run_cfg = cfg.clone().with_seed(derive_seed(cfg.seed, gi as u64));
+        let (name, pattern) = match pat {
+            Pat::Shape(shape) => {
+                let skew = if *shape == Shape::NoDelay { 0.0 } else { skew };
+                (shape.name().to_string(), std::borrow::Cow::Owned(generate(*shape, p, skew, cfg.seed)))
+            }
+            Pat::Extra(extra) => (extra.name.clone(), std::borrow::Cow::Borrowed(*extra)),
+        };
+        let stats = measure(platform, &spec, &pattern, &run_cfg)?;
+        Ok::<_, BenchError>(SweepCell { alg, pattern: name, skew: pattern.max_skew(), stats })
+    });
+    let cells = runs.into_iter().collect::<Result<Vec<_>, _>>()?;
 
     Ok(SweepResult { kind, bytes, algs: algs.to_vec(), patterns: pattern_names, cells })
 }
@@ -185,12 +216,54 @@ mod tests {
         .unwrap();
         assert_eq!(res.cells.len(), 9);
         assert_eq!(res.patterns.len(), 3);
+        // The flattened fan-out must preserve the sequential grid order:
+        // algorithm-major, pattern-minor.
+        let order: Vec<(u8, &str)> = res.cells.iter().map(|c| (c.alg, c.pattern.as_str())).collect();
+        let expected: Vec<(u8, &str)> =
+            [1u8, 2, 3].iter().flat_map(|&a| shapes.iter().map(move |s| (a, s.name()))).collect();
+        assert_eq!(order, expected);
         assert!(res.mean_last(3, "ascending").unwrap() > 0.0);
         assert!(res.cell(3, "bogus").is_none());
         // Non-NoDelay cells carry the calibrated skew.
         let skew = res.cell(1, "ascending").unwrap().skew;
         assert!(skew > 0.0);
         assert_eq!(res.cell(2, "ascending").unwrap().skew, skew, "FactorOfAvg is shared");
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_sequential() {
+        // Real-machine config: noise and clock generation consume the seed,
+        // so this exercises the per-cell seed derivation rather than
+        // trivially-equal noise-free runs. The serialized result must not
+        // change with the thread count.
+        let platform = Platform::hydra(8);
+        let cfg = BenchConfig::real_machine(2).with_seed(0x5EED);
+        let ft = ArrivalPattern::new(
+            "ft_scenario",
+            vec![0.0, 1e-4, 2e-4, 0.5e-4, 0.0, 3e-5, 0.0, 1e-5],
+        );
+        let run = || {
+            let res = sweep(
+                &platform,
+                CollectiveKind::Reduce,
+                &[1, 5, 6],
+                &[Shape::NoDelay, Shape::Ascending, Shape::Random],
+                1024,
+                SkewPolicy::FactorOfAvg(1.5),
+                std::slice::from_ref(&ft),
+                &cfg,
+            )
+            .unwrap();
+            serde_json::to_string(&res).unwrap()
+        };
+        let before = pap_parallel::threads();
+        pap_parallel::set_threads(1);
+        let sequential = run();
+        for n in [2, 3, 8] {
+            pap_parallel::set_threads(n);
+            assert_eq!(run(), sequential, "thread count {n} changed the serialized sweep");
+        }
+        pap_parallel::set_threads(before);
     }
 
     #[test]

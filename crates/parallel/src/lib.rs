@@ -1,0 +1,170 @@
+//! Deterministic ordered fan-out over OS threads.
+//!
+//! The sweep, tuner and figure pipelines are embarrassingly parallel: a grid
+//! of independent simulation runs whose outputs are combined by *index*, not
+//! by completion order. [`par_map`] runs such a grid across a pool of scoped
+//! threads and returns results in input order, so callers that derive any
+//! per-item randomness from the item index produce byte-identical output at
+//! every thread count.
+//!
+//! Thread count resolution, highest priority first:
+//! 1. [`set_threads`] (e.g. from `papctl --threads N`),
+//! 2. the `PAP_THREADS` environment variable,
+//! 3. all available cores.
+//!
+//! A value of 1 forces the plain sequential loop (no threads spawned).
+//! Nested [`par_map`] calls from inside a worker run sequentially, so outer
+//! parallelism (e.g. the tuner's kind × size grid) is not multiplied by
+//! inner parallelism (each cell's sweep).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Explicit override; 0 means "not set".
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Cached `PAP_THREADS` / core-count default.
+static DEFAULT: OnceLock<usize> = OnceLock::new();
+
+std::thread_local! {
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Set the global thread count (1 forces sequential execution).
+///
+/// Takes priority over `PAP_THREADS` and the core count.
+pub fn set_threads(n: usize) {
+    OVERRIDE.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The thread count [`par_map`] will use at top level.
+pub fn threads() -> usize {
+    let forced = OVERRIDE.load(Ordering::Relaxed);
+    if forced != 0 {
+        return forced;
+    }
+    *DEFAULT.get_or_init(|| {
+        if let Ok(v) = std::env::var("PAP_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+            eprintln!("warning: ignoring invalid PAP_THREADS={v:?}");
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    })
+}
+
+/// True when called from inside a [`par_map`] worker.
+pub fn in_worker() -> bool {
+    IN_WORKER.with(|f| f.get())
+}
+
+/// Apply `f(index, &item)` to every item, returning results in input order.
+///
+/// Runs on [`threads`] scoped threads pulling indices from a shared counter;
+/// sequential when the thread count is 1, the input has fewer than 2 items,
+/// or the caller is itself a worker. A panic in `f` propagates.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = threads().min(n);
+    if workers <= 1 || in_worker() {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    IN_WORKER.with(|flag| flag.set(true));
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            // join() re-raises worker panics on the caller.
+            for (i, v) in handle.join().expect("par_map worker panicked") {
+                slots[i] = Some(v);
+            }
+        }
+    });
+    slots.into_iter().map(|s| s.expect("par_map slot unfilled")).collect()
+}
+
+/// [`par_map`] over an index range instead of a slice.
+pub fn par_map_range<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let idx: Vec<usize> = (0..n).collect();
+    par_map(&idx, |_, &i| f(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that mutate the global thread-count override.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn results_are_in_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = par_map(&items, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * 3 + 1
+        });
+        assert_eq!(out, items.iter().map(|x| x * 3 + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_sequential_at_any_thread_count() {
+        let _guard = LOCK.lock().unwrap();
+        let items: Vec<u64> = (0..100).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x.wrapping_mul(0x9E37_79B9)).collect();
+        for n in [1, 2, 7] {
+            set_threads(n);
+            assert_eq!(par_map(&items, |_, x| x.wrapping_mul(0x9E37_79B9)), seq);
+        }
+        set_threads(1);
+    }
+
+    #[test]
+    fn nested_calls_run_sequentially() {
+        let _guard = LOCK.lock().unwrap();
+        set_threads(4);
+        let outer: Vec<usize> = (0..8).collect();
+        let out = par_map(&outer, |_, &i| {
+            assert!(in_worker());
+            let inner: Vec<usize> = (0..4).collect();
+            par_map(&inner, |_, &j| i * 10 + j)
+        });
+        assert_eq!(out[3], vec![30, 31, 32, 33]);
+        set_threads(1);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |_, x| *x).is_empty());
+        assert_eq!(par_map(&[42u32], |_, x| *x), vec![42]);
+        assert_eq!(par_map_range(3, |i| i * i), vec![0, 1, 4]);
+    }
+}

@@ -17,6 +17,7 @@
 //! all `p` contributions exactly once" for Allreduce.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A set of ranks, stored as a bitset (supports up to a few thousand ranks).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -178,9 +179,14 @@ impl BlockFilter {
 }
 
 /// Abstract content of one buffer slot.
+///
+/// The block map is `Arc`-backed copy-on-write: cloning a `Value` (payload
+/// snapshots, slot copies) is a reference-count bump, and a deep copy happens
+/// only when a shared value is mutated. This is what makes the engine's
+/// tracked-data mode affordable — every send snapshots its payload.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Value {
-    blocks: BTreeMap<BlockCoord, RankSet>,
+    blocks: Arc<BTreeMap<BlockCoord, RankSet>>,
 }
 
 impl Value {
@@ -189,30 +195,40 @@ impl Value {
         Self::default()
     }
 
+    fn from_map(blocks: BTreeMap<BlockCoord, RankSet>) -> Self {
+        Value { blocks: Arc::new(blocks) }
+    }
+
+    /// Mutable access to the block map, copying it first if shared.
+    #[inline]
+    fn blocks_mut(&mut self) -> &mut BTreeMap<BlockCoord, RankSet> {
+        Arc::make_mut(&mut self.blocks)
+    }
+
     /// The input contribution of `rank` for reduction segments
     /// `seg_lo..seg_hi`: each segment maps to `{rank}`.
     pub fn reduce_input(rank: usize, seg_lo: u32, seg_hi: u32) -> Self {
-        let mut v = Self::empty();
+        let mut blocks = BTreeMap::new();
         for s in seg_lo..seg_hi {
-            v.blocks.insert((0, s), RankSet::singleton(rank));
+            blocks.insert((0, s), RankSet::singleton(rank));
         }
-        v
+        Self::from_map(blocks)
     }
 
     /// A movement block `(origin, index)` owned by `origin`.
     pub fn movement_block(origin: usize, index: u32) -> Self {
-        let mut v = Self::empty();
-        v.blocks.insert((origin as u32, index), RankSet::singleton(origin));
-        v
+        let mut blocks = BTreeMap::new();
+        blocks.insert((origin as u32, index), RankSet::singleton(origin));
+        Self::from_map(blocks)
     }
 
     /// Several movement blocks from one origin: indices `lo..hi`.
     pub fn movement_blocks(origin: usize, lo: u32, hi: u32) -> Self {
-        let mut v = Self::empty();
+        let mut blocks = BTreeMap::new();
         for i in lo..hi {
-            v.blocks.insert((origin as u32, i), RankSet::singleton(origin));
+            blocks.insert((origin as u32, i), RankSet::singleton(origin));
         }
-        v
+        Self::from_map(blocks)
     }
 
     /// Number of blocks held.
@@ -232,7 +248,7 @@ impl Value {
 
     /// Insert/replace one block.
     pub fn set(&mut self, coord: BlockCoord, contribs: RankSet) {
-        self.blocks.insert(coord, contribs);
+        self.blocks_mut().insert(coord, contribs);
     }
 
     /// Iterate over `(coord, contributors)` in coordinate order.
@@ -246,9 +262,15 @@ impl Value {
     /// Returns `Err` with a description on double-count; the merge still
     /// proceeds (so downstream checks see the union).
     pub fn reduce_from(&mut self, other: &Value) -> Result<(), String> {
+        if self.is_empty() {
+            // No overlap possible: share the other side's map.
+            self.blocks = Arc::clone(&other.blocks);
+            return Ok(());
+        }
         let mut err = None;
-        for (coord, set) in other.iter() {
-            match self.blocks.get_mut(&coord) {
+        let blocks = Arc::make_mut(&mut self.blocks);
+        for (coord, set) in other.blocks.iter() {
+            match blocks.get_mut(coord) {
                 Some(existing) => {
                     if existing.intersects(set) && err.is_none() {
                         err = Some(format!(
@@ -260,7 +282,7 @@ impl Value {
                     existing.union_with(set);
                 }
                 None => {
-                    self.blocks.insert(coord, set.clone());
+                    blocks.insert(*coord, set.clone());
                 }
             }
         }
@@ -274,9 +296,15 @@ impl Value {
     /// *same* contributors is idempotent; differing contributors are an
     /// error (two different things claiming the same coordinate).
     pub fn merge_from(&mut self, other: &Value) -> Result<(), String> {
+        if self.is_empty() {
+            // No conflict possible: share the other side's map.
+            self.blocks = Arc::clone(&other.blocks);
+            return Ok(());
+        }
         let mut err = None;
-        for (coord, set) in other.iter() {
-            match self.blocks.get_mut(&coord) {
+        let blocks = Arc::make_mut(&mut self.blocks);
+        for (coord, set) in other.blocks.iter() {
+            match blocks.get_mut(coord) {
                 Some(existing) if existing == set => {}
                 Some(existing) => {
                     if err.is_none() {
@@ -289,7 +317,7 @@ impl Value {
                     existing.union_with(set);
                 }
                 None => {
-                    self.blocks.insert(coord, set.clone());
+                    blocks.insert(*coord, set.clone());
                 }
             }
         }
@@ -302,29 +330,35 @@ impl Value {
     /// Extract a sub-value containing only blocks with coordinates for which
     /// `pred` returns true (used by schedules that send a slice of a slot).
     pub fn filtered(&self, mut pred: impl FnMut(BlockCoord) -> bool) -> Value {
-        Value {
-            blocks: self
-                .blocks
+        Self::from_map(
+            self.blocks
                 .iter()
                 .filter(|(&c, _)| pred(c))
                 .map(|(&c, s)| (c, s.clone()))
                 .collect(),
-        }
+        )
     }
 
     /// Overwrite merge: replace/insert every block of `other` (no conflict
     /// checking). Used by allgather phases where complete blocks replace
     /// stale partials.
     pub fn overwrite_from(&mut self, other: &Value) {
-        for (coord, set) in other.iter() {
-            self.blocks.insert(coord, set.clone());
+        if self.is_empty() {
+            self.blocks = Arc::clone(&other.blocks);
+            return;
+        }
+        let blocks = Arc::make_mut(&mut self.blocks);
+        for (coord, set) in other.blocks.iter() {
+            blocks.insert(*coord, set.clone());
         }
     }
 
     /// Remove every block matching `filter` (e.g. blocks just forwarded in a
     /// Bruck round).
     pub fn drop_matching(&mut self, filter: BlockFilter) {
-        self.blocks.retain(|&c, _| !filter.matches(c));
+        if self.blocks.keys().any(|&c| filter.matches(c)) {
+            self.blocks_mut().retain(|&c, _| !filter.matches(c));
+        }
     }
 }
 

@@ -136,9 +136,17 @@ impl RunOutcome {
 
     /// Records of a specific label, ordered by rank.
     pub fn phases_for(&self, label: Label) -> Vec<PhaseRecord> {
-        let mut v: Vec<PhaseRecord> = self.phases.iter().copied().filter(|p| p.label == label).collect();
+        let mut v: Vec<PhaseRecord> = self.phases_for_iter(label).copied().collect();
         v.sort_by_key(|p| p.rank);
         v
+    }
+
+    /// Records of a specific label in completion order, without allocating.
+    ///
+    /// Use this in per-measurement hot paths (the harness folds min/max over
+    /// it); use [`phases_for`](Self::phases_for) when rank order matters.
+    pub fn phases_for_iter(&self, label: Label) -> impl Iterator<Item = &PhaseRecord> {
+        self.phases.iter().filter(move |p| p.label == label)
     }
 }
 
@@ -216,6 +224,52 @@ struct Channel {
     posted: VecDeque<RecvInfo>,
 }
 
+/// `(src, dst, tag)` packed into one integer so channel lookups hash a
+/// single u128 instead of a tuple field by field.
+type ChanKey = u128;
+
+#[inline]
+fn chan_key(src: u32, dst: u32, tag: Tag) -> ChanKey {
+    ((src as u128) << 96) | ((dst as u128) << 64) | tag as u128
+}
+
+/// Multiply-xor hasher for [`ChanKey`]s (FxHash-style). SipHash dominated
+/// the channel-map profile; channel keys are program-controlled, not
+/// attacker-controlled, so a non-DoS-resistant hash is fine here.
+#[derive(Default)]
+struct ChanHasher {
+    hash: u64,
+}
+
+const CHAN_HASH_K: u64 = 0x517c_c1b7_2722_0a95;
+
+impl std::hash::Hasher for ChanHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ v).wrapping_mul(CHAN_HASH_K);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.write_u64(v as u64);
+        self.write_u64((v >> 64) as u64);
+    }
+}
+
+type ChanMap = HashMap<ChanKey, Channel, std::hash::BuildHasherDefault<ChanHasher>>;
+
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum ReqState {
     Free,
@@ -284,10 +338,13 @@ struct Engine<'a> {
     platform: &'a Platform,
     cfg: &'a SimConfig,
     ranks: Vec<RankState>,
-    programs: Vec<crate::program::RankProgram>,
+    /// Borrowed (not owned) so the hot loop can hold `&'a Op` references
+    /// into programs while mutating the rest of the engine — no per-event
+    /// `Op` clone.
+    programs: &'a [crate::program::RankProgram],
     heap: BinaryHeap<Reverse<HeapEntry>>,
     seq: u64,
-    channels: HashMap<(u32, u32, Tag), Channel>,
+    channels: ChanMap,
     msgs: Vec<Msg>,
     free_msgs: Vec<MsgId>,
     egress_free: Vec<SimTime>,
@@ -303,6 +360,12 @@ struct Engine<'a> {
 
 /// Run a job on a platform. See the crate docs for the model description.
 pub fn run(platform: &Platform, job: Job, cfg: &SimConfig) -> Result<RunOutcome, SimError> {
+    run_ref(platform, &job, cfg)
+}
+
+/// [`run`] without consuming the job — repetition loops (ReproMPI-style
+/// NREP) build the program once and run it many times with different seeds.
+pub fn run_ref(platform: &Platform, job: &Job, cfg: &SimConfig) -> Result<RunOutcome, SimError> {
     let p = job.ranks();
     if p == 0 {
         return Err(SimError::InvalidProgram("job has no ranks".into()));
@@ -335,10 +398,10 @@ pub fn run(platform: &Platform, job: Job, cfg: &SimConfig) -> Result<RunOutcome,
         platform,
         cfg,
         ranks,
-        programs: job.programs,
+        programs: &job.programs,
         heap: BinaryHeap::new(),
         seq: 0,
-        channels: HashMap::new(),
+        channels: ChanMap::default(),
         msgs: Vec::new(),
         free_msgs: Vec::new(),
         egress_free: vec![0.0; nodes],
@@ -479,7 +542,10 @@ impl<'a> Engine<'a> {
                 self.ranks[rank].seg_enter = self.ranks[rank].local;
             }
 
-            let op = self.programs[rank].segments[seg].ops[pc].clone();
+            // `programs` is a borrow with the engine's outer lifetime, so
+            // `op` does not pin `self` while exec_op mutates it.
+            let programs = self.programs;
+            let op = &programs[rank].segments[seg].ops[pc];
             if !self.exec_op(rank, op) {
                 return;
             }
@@ -491,8 +557,8 @@ impl<'a> Engine<'a> {
 
     /// Execute one op. Returns false if the rank blocked (pc stays on the
     /// op); returns true if execution should continue (pc advanced).
-    fn exec_op(&mut self, rank: usize, op: Op) -> bool {
-        match op {
+    fn exec_op(&mut self, rank: usize, op: &Op) -> bool {
+        match *op {
             Op::Compute { seconds, noisy } => {
                 let d = if noisy { self.perturb(rank, seconds) } else { seconds };
                 self.ranks[rank].local += d;
@@ -525,6 +591,8 @@ impl<'a> Engine<'a> {
                 let d = self.perturb(rank, cost);
                 self.ranks[rank].local += d;
                 if self.cfg.track_data {
+                    // Value clones are Arc bumps; the deep copy happens only
+                    // if reduce_from must mutate shared blocks.
                     let src = self.ranks[rank].slots[from].clone();
                     if let Err(e) = self.ranks[rank].slots[into].reduce_from(&src) {
                         self.data_errors.push(format!("rank {rank}: {e}"));
@@ -566,9 +634,9 @@ impl<'a> Engine<'a> {
                 self.step(rank);
                 true
             }
-            Op::InitSlot { slot, value } => {
+            Op::InitSlot { slot, ref value } => {
                 if self.cfg.track_data {
-                    self.ranks[rank].slots[slot] = value;
+                    self.ranks[rank].slots[slot] = value.clone();
                 }
                 self.step(rank);
                 true
@@ -694,7 +762,7 @@ impl<'a> Engine<'a> {
     /// Returns true if matched.
     fn match_send_with_posted(&mut self, id: MsgId) -> bool {
         let m = &self.msgs[id];
-        let key = (m.src, m.dst, m.tag);
+        let key = chan_key(m.src, m.dst, m.tag);
         let ch = self.channels.entry(key).or_default();
         if let Some(recv) = ch.posted.pop_front() {
             self.attach_recv(id, recv);
@@ -734,7 +802,7 @@ impl<'a> Engine<'a> {
             None => RecvWake::Blocking,
         };
         let info = RecvInfo { slot, posted_at: tr, wake };
-        let key = (from as u32, rank as u32, tag);
+        let key = chan_key(from as u32, rank as u32, tag);
         let ch = self.channels.entry(key).or_default();
 
         if let Some(&mid) = ch.incoming.front() {
@@ -953,15 +1021,15 @@ impl<'a> Engine<'a> {
             }
             return false;
         };
-        // Free the requests for reuse.
-        let reqs = {
-            let st = &self.ranks[rank];
-            match &self.programs[rank].segments[st.seg].ops[st.pc] {
-                Op::WaitAll { reqs } => reqs.clone(),
-                _ => unreachable!("try_waitall called on non-WaitAll op"),
-            }
+        // Free the requests for reuse. `programs` outlives the `ranks`
+        // mutation below, so no clone of the request list is needed.
+        let programs = self.programs;
+        let (seg, pc) = (self.ranks[rank].seg, self.ranks[rank].pc);
+        let reqs = match &programs[rank].segments[seg].ops[pc] {
+            Op::WaitAll { reqs } => reqs,
+            _ => unreachable!("try_waitall called on non-WaitAll op"),
         };
-        for r in reqs {
+        for &r in reqs {
             self.ranks[rank].reqs[r] = ReqState::Free;
         }
         self.ranks[rank].local = t;

@@ -55,7 +55,7 @@ pub mod time;
 pub mod timeline;
 
 pub use data::{RankSet, Value};
-pub use engine::{run, RunOutcome, SimError};
+pub use engine::{run, run_ref, RunOutcome, SimError};
 pub use noise::NoiseModel;
 pub use platform::{LinkParams, MachineId, Platform};
 pub use program::{Job, Label, Op, RankProgram, Segment};

@@ -90,11 +90,18 @@ impl NoiseModel {
     }
 }
 
-/// Approximately-normal multiplicative factor via the sum of uniforms
-/// (Irwin–Hall with n=12: mean 6, variance 1), truncated below at 0.5 so the
-/// factor is always positive.
+/// Approximately-normal multiplicative factor via the sum of uniforms,
+/// truncated below at 0.5 so the factor is always positive. One keystream
+/// word supplies four 16-bit uniforms (Irwin–Hall n=4, rescaled to unit
+/// variance) — `perturb` runs once per simulator event, so the sample cost
+/// matters.
 fn gaussian_factor(rng: &mut ChaCha8Rng, sigma_frac: f64) -> f64 {
-    let z: f64 = (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0;
+    use rand::RngCore;
+    let w = rng.next_u64();
+    let sum = ((w & 0xFFFF) + ((w >> 16) & 0xFFFF) + ((w >> 32) & 0xFFFF) + (w >> 48)) as f64
+        * (1.0 / 65536.0);
+    // Irwin–Hall n=4: mean 2, variance 1/3 → ×√3 for a unit-variance z.
+    let z = (sum - 2.0) * 1.732_050_807_568_877_2;
     (1.0 + sigma_frac * z).max(0.5)
 }
 

@@ -100,23 +100,26 @@ impl CollectiveTrace {
         mut observer: impl FnMut(usize, f64) -> f64,
     ) -> Self {
         assert!(cfg.call_stride >= 1 && cfg.rank_stride >= 1, "strides must be >= 1");
-        let mut seqs: Vec<u32> = outcome
-            .phases
-            .iter()
-            .filter(|ph| ph.label.kind == kind)
-            .map(|ph| ph.label.seq)
-            .collect();
-        seqs.sort_unstable();
-        seqs.dedup();
+        // One pass over the phase log: bucket matching phase indices by seq.
+        // The BTreeMap iterates seqs in ascending order and each bucket keeps
+        // log order, so the observer sees timestamps in the same order as the
+        // old per-seq rescan did — just without the O(calls × phases) cost.
+        let mut by_seq: std::collections::BTreeMap<u32, Vec<usize>> = std::collections::BTreeMap::new();
+        for (idx, ph) in outcome.phases.iter().enumerate() {
+            if ph.label.kind == kind {
+                by_seq.entry(ph.label.seq).or_default().push(idx);
+            }
+        }
         let mut calls = Vec::new();
-        for (i, &seq) in seqs.iter().enumerate() {
+        for (i, (&seq, phase_idxs)) in by_seq.iter().enumerate() {
             if i % cfg.call_stride != 0 {
                 continue;
             }
             let mut arrivals = vec![f64::NAN; ranks];
             let mut exits = vec![f64::NAN; ranks];
-            for ph in outcome.phases.iter() {
-                if ph.label.kind == kind && ph.label.seq == seq && ph.rank % cfg.rank_stride == 0 {
+            for &idx in phase_idxs {
+                let ph = &outcome.phases[idx];
+                if ph.rank.is_multiple_of(cfg.rank_stride) {
                     arrivals[ph.rank] = observer(ph.rank, ph.enter);
                     exits[ph.rank] = observer(ph.rank, ph.exit);
                 }

@@ -10,6 +10,9 @@
 //! papctl ft    <machine> [--ranks N] [--alg A] [--iters N]
 //! papctl trace <machine> [--ranks N]                       # FT pattern in file format
 //! ```
+//!
+//! All commands accept `--threads N` to bound the parallel fan-out
+//! (default: `PAP_THREADS` env, else all cores; 1 forces sequential).
 
 use std::process::ExitCode;
 use std::str::FromStr;
@@ -65,8 +68,25 @@ fn main() -> ExitCode {
         eprintln!("{}", USAGE);
         return ExitCode::FAILURE;
     }
-    let cmd = raw[0].clone();
-    let args = Args::parse(raw[1..].to_vec());
+    // Parse flags before picking the command so the global `--threads` flag
+    // may appear anywhere: `papctl --threads 2 sweep …` and
+    // `papctl sweep … --threads 2` both work.
+    let mut args = Args::parse(raw);
+    if args.positional.is_empty() {
+        if args.flags.iter().any(|(n, _)| n == "help") {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        eprintln!("{}", USAGE);
+        return ExitCode::FAILURE;
+    }
+    let cmd = args.positional.remove(0);
+    // Global knob: worker threads for the sweep/tune fan-out. 0 keeps the
+    // default (PAP_THREADS env, else all cores); 1 forces sequential runs.
+    let threads = args.flag("threads", 0usize);
+    if threads > 0 {
+        pap::parallel::set_threads(threads);
+    }
     let result = match cmd.as_str() {
         "machines" => machines(),
         "algorithms" => cmd_algorithms(&args),
@@ -92,6 +112,8 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage: papctl <machines|algorithms|pattern|bench|sweep|tune|ft|trace|help> …
+global flags: --threads N   worker threads for sweep/tune fan-out
+                            (default: PAP_THREADS env, else all cores; 1 = sequential)
 run `papctl help` or see the module docs for argument details";
 
 fn machines() -> Result<(), String> {

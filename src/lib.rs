@@ -12,6 +12,8 @@
 //! * [`arrival`] — artificial & measured process arrival patterns
 //! * [`clocksync`] — drifting clocks, HCA3-style synchronization, harmonized
 //!   starts
+//! * [`parallel`] — deterministic ordered fan-out over OS threads
+//!   (`PAP_THREADS` / `--threads`)
 //! * [`tracer`] — collective tracing (PMPI-substitute)
 //! * [`microbench`] — ReproMPI-style micro-benchmark harness with pattern
 //!   injection
@@ -28,5 +30,6 @@ pub use pap_clocksync as clocksync;
 pub use pap_collectives as collectives;
 pub use pap_core as core;
 pub use pap_microbench as microbench;
+pub use pap_parallel as parallel;
 pub use pap_sim as sim;
 pub use pap_tracer as tracer;

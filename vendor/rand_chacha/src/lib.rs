@@ -1,0 +1,146 @@
+//! Offline vendored ChaCha-based RNG.
+//!
+//! Implements the real ChaCha keystream (D. J. Bernstein's public design)
+//! with 8, 12 or 20 rounds, exposed as [`ChaCha8Rng`], [`ChaCha12Rng`] and
+//! [`ChaCha20Rng`] with the `rand` [`SeedableRng`]/[`RngCore`] interface.
+//! Deterministic: the same seed always yields the same stream on every
+//! platform. Stream/word ordering follows the ChaCha block layout directly;
+//! this crate promises self-consistency, not bit-compatibility with the
+//! upstream `rand_chacha` crate.
+
+use rand::{RngCore, SeedableRng};
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn chacha_block(key: &[u32; 8], counter: u64, rounds: usize, out: &mut [u32; 16]) {
+    // "expand 32-byte k" constants.
+    let mut st: [u32; 16] = [
+        0x6170_7865,
+        0x3320_646e,
+        0x7962_2d32,
+        0x6b20_6574,
+        key[0],
+        key[1],
+        key[2],
+        key[3],
+        key[4],
+        key[5],
+        key[6],
+        key[7],
+        counter as u32,
+        (counter >> 32) as u32,
+        0,
+        0,
+    ];
+    let input = st;
+    for _ in 0..rounds / 2 {
+        quarter_round(&mut st, 0, 4, 8, 12);
+        quarter_round(&mut st, 1, 5, 9, 13);
+        quarter_round(&mut st, 2, 6, 10, 14);
+        quarter_round(&mut st, 3, 7, 11, 15);
+        quarter_round(&mut st, 0, 5, 10, 15);
+        quarter_round(&mut st, 1, 6, 11, 12);
+        quarter_round(&mut st, 2, 7, 8, 13);
+        quarter_round(&mut st, 3, 4, 9, 14);
+    }
+    for (o, (s, i)) in out.iter_mut().zip(st.iter().zip(input.iter())) {
+        *o = s.wrapping_add(*i);
+    }
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:expr) => {
+        /// ChaCha RNG with the round count in the type name.
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            key: [u32; 8],
+            counter: u64,
+            buf: [u32; 16],
+            /// Next unread word in `buf`; 16 means exhausted.
+            idx: usize,
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: [u8; 32]) -> Self {
+                let mut key = [0u32; 8];
+                for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+                    *k = u32::from_le_bytes(chunk.try_into().unwrap());
+                }
+                $name { key, counter: 0, buf: [0; 16], idx: 16 }
+            }
+        }
+
+        impl RngCore for $name {
+            #[inline]
+            fn next_u32(&mut self) -> u32 {
+                if self.idx >= 16 {
+                    chacha_block(&self.key, self.counter, $rounds, &mut self.buf);
+                    self.counter = self.counter.wrapping_add(1);
+                    self.idx = 0;
+                }
+                let w = self.buf[self.idx];
+                self.idx += 1;
+                w
+            }
+
+            #[inline]
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_u32() as u64;
+                let hi = self.next_u32() as u64;
+                lo | (hi << 32)
+            }
+        }
+    };
+}
+
+chacha_rng!(ChaCha8Rng, 8);
+chacha_rng!(ChaCha12Rng, 12);
+chacha_rng!(ChaCha20Rng, 20);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(1);
+        let mut c = ChaCha8Rng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn floats_look_uniform() {
+        let mut r = ChaCha8Rng::seed_from_u64(42);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| r.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn clone_preserves_stream_position() {
+        let mut r = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..7 {
+            r.next_u32();
+        }
+        let mut s = r.clone();
+        assert_eq!(r.next_u64(), s.next_u64());
+    }
+}
