@@ -50,11 +50,16 @@ pub(crate) fn build(spec: &CollSpec, p: usize) -> Result<Built, BuildError> {
 fn gather_then_bcast(spec: &CollSpec, p: usize) -> Built {
     let g_spec = CollSpec { kind: CollectiveKind::Gather, alg: 2, ..spec.clone() };
     let g = crate::gather::build(&g_spec, p).expect("gather substrate");
+    // Propagate mode needs exactly p segments (block j travels as segment
+    // j), so the per-block size is clamped to ≥ 1 byte: with `bytes == 0`
+    // the plan would otherwise collapse to a single segment and only block
+    // 0 would ever leave the root.
+    let block = spec.bytes.max(1);
     let bc_spec = CollSpec {
         kind: CollectiveKind::Bcast,
         alg: 5,
-        bytes: spec.bytes * p as u64,
-        seg_bytes: spec.bytes.max(1),
+        bytes: block * p as u64,
+        seg_bytes: block,
         tag_base: spec.tag_base + 0x40000,
         ..spec.clone()
     };

@@ -21,6 +21,7 @@
 //!    (Fig. 9).
 
 pub mod decision;
+pub mod diff;
 pub mod matrix;
 pub mod predict;
 pub mod report;
@@ -29,6 +30,7 @@ pub mod table;
 pub mod tuner;
 
 pub use decision::{DecisionLogic, DecisionSource};
+pub use diff::{differential_grid, kendall, spearman, DiffCell};
 pub use matrix::BenchMatrix;
 pub use predict::{predict_app_runtime, AppPrediction};
 pub use selection::{select, SelectionPolicy};

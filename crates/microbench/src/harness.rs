@@ -6,6 +6,38 @@ use pap_collectives::{build, BuildError, CollSpec};
 use pap_sim::{run_ref, Job, Label, NoiseModel, Op, Platform, RankProgram, SimConfig, SimError};
 use serde::{Deserialize, Serialize};
 
+/// Which prediction backend resolves a measurement cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Backend {
+    /// The discrete-event simulator (`pap-sim`) — the reference backend.
+    #[default]
+    Sim,
+    /// The closed-form analytical models (`pap-model`) — orders of magnitude
+    /// cheaper per cell, cross-validated against the simulator by the
+    /// differential test suite.
+    Model,
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "sim" | "simulator" => Ok(Backend::Sim),
+            "model" | "analytical" => Ok(Backend::Model),
+            other => Err(format!("unknown backend '{other}' (expected sim|model)")),
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Backend::Sim => "sim",
+            Backend::Model => "model",
+        })
+    }
+}
+
 /// Harness configuration.
 #[derive(Debug, Clone)]
 pub struct BenchConfig {
@@ -21,11 +53,20 @@ pub struct BenchConfig {
     pub clock_sync: bool,
     /// HCA3 parameters (when `clock_sync`).
     pub hca3: Hca3Config,
+    /// Prediction backend: event-driven simulator or analytical model.
+    pub backend: Backend,
 }
 
 impl Default for BenchConfig {
     fn default() -> Self {
-        BenchConfig { nrep: 3, seed: 0xBE7C, noise: None, clock_sync: false, hca3: Hca3Config::default() }
+        BenchConfig {
+            nrep: 3,
+            seed: 0xBE7C,
+            noise: None,
+            clock_sync: false,
+            hca3: Hca3Config::default(),
+            backend: Backend::Sim,
+        }
     }
 }
 
@@ -47,6 +88,12 @@ impl BenchConfig {
         self.seed = seed;
         self
     }
+
+    /// Replace the prediction backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
 }
 
 /// One repetition's metrics, from observed (calibrated-clock) timestamps.
@@ -65,6 +112,8 @@ pub enum BenchError {
     Build(BuildError),
     /// The simulation failed (deadlock or invalid program).
     Sim(SimError),
+    /// The analytical model backend rejected the cell.
+    Model(pap_model::ModelError),
     /// Pattern length does not match the platform rank count.
     PatternMismatch { pattern: usize, ranks: usize },
 }
@@ -74,6 +123,7 @@ impl std::fmt::Display for BenchError {
         match self {
             BenchError::Build(e) => write!(f, "build: {e}"),
             BenchError::Sim(e) => write!(f, "sim: {e}"),
+            BenchError::Model(e) => write!(f, "model: {e}"),
             BenchError::PatternMismatch { pattern, ranks } => {
                 write!(f, "pattern has {pattern} delays but platform has {ranks} ranks")
             }
@@ -95,6 +145,12 @@ impl From<SimError> for BenchError {
     }
 }
 
+impl From<pap_model::ModelError> for BenchError {
+    fn from(e: pap_model::ModelError) -> Self {
+        BenchError::Model(e)
+    }
+}
+
 /// Measure one collective under one arrival pattern: `cfg.nrep` repetitions
 /// of Listing 1, each an independent simulator run.
 pub fn measure(
@@ -106,6 +162,14 @@ pub fn measure(
     let p = platform.ranks;
     if pattern.len() != p {
         return Err(BenchError::PatternMismatch { pattern: pattern.len(), ranks: p });
+    }
+
+    if cfg.backend == Backend::Model {
+        // The analytical backend is deterministic and noise-free: one
+        // evaluation stands in for all repetitions.
+        let pred = pap_model::predict(platform, spec, pattern)?;
+        let m = Measurement { last_delay: pred.last_delay, total_delay: pred.total_delay };
+        return Ok(crate::RunStats::new(vec![m; cfg.nrep.max(1)]));
     }
 
     // Clock infrastructure, set up once per benchmark (like a real

@@ -1,0 +1,108 @@
+//! The [`Predictor`] trait: a uniform interface over the two cost backends
+//! (the `pap-sim` event-driven simulator and the `pap-model` analytical
+//! models), so selection layers can be written backend-agnostically.
+//!
+//! [`measure`](crate::measure) already dispatches on
+//! [`BenchConfig::backend`]; the trait exists for call sites that want to
+//! hold a backend as a value (e.g. differential harnesses comparing both).
+
+use pap_arrival::ArrivalPattern;
+use pap_collectives::CollSpec;
+use pap_sim::Platform;
+
+use crate::{measure, Backend, BenchConfig, BenchError, RunStats};
+
+/// A cost backend: predicts the arrival-aware runtime statistics of one
+/// (platform, collective, pattern) cell.
+pub trait Predictor {
+    /// Stable backend name (matches the `--backend` CLI values).
+    fn name(&self) -> &'static str;
+
+    /// Predict the cell's runtime statistics.
+    fn predict(
+        &self,
+        platform: &Platform,
+        spec: &CollSpec,
+        pattern: &ArrivalPattern,
+    ) -> Result<RunStats, BenchError>;
+}
+
+/// The event-driven simulator backend, wrapping a [`BenchConfig`].
+pub struct SimPredictor(pub BenchConfig);
+
+impl Predictor for SimPredictor {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn predict(
+        &self,
+        platform: &Platform,
+        spec: &CollSpec,
+        pattern: &ArrivalPattern,
+    ) -> Result<RunStats, BenchError> {
+        let cfg = self.0.clone().with_backend(Backend::Sim);
+        measure(platform, spec, pattern, &cfg)
+    }
+}
+
+/// The closed-form analytical backend (`pap-model`).
+pub struct ModelPredictor(pub BenchConfig);
+
+impl Predictor for ModelPredictor {
+    fn name(&self) -> &'static str {
+        "model"
+    }
+
+    fn predict(
+        &self,
+        platform: &Platform,
+        spec: &CollSpec,
+        pattern: &ArrivalPattern,
+    ) -> Result<RunStats, BenchError> {
+        let cfg = self.0.clone().with_backend(Backend::Model);
+        measure(platform, spec, pattern, &cfg)
+    }
+}
+
+/// Instantiate the predictor for a backend tag.
+pub fn predictor_for(backend: Backend, cfg: &BenchConfig) -> Box<dyn Predictor> {
+    match backend {
+        Backend::Sim => Box::new(SimPredictor(cfg.clone())),
+        Backend::Model => Box::new(ModelPredictor(cfg.clone())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pap_arrival::{generate, Shape};
+    use pap_collectives::CollectiveKind;
+
+    #[test]
+    fn both_predictors_agree_on_rough_magnitude() {
+        let platform = Platform::simcluster(16);
+        let spec = CollSpec::new(CollectiveKind::Allreduce, 3, 4096);
+        let pattern = generate(Shape::Ascending, 16, 1e-4, 7);
+        let cfg = BenchConfig::simulation();
+        let sim = SimPredictor(cfg.clone()).predict(&platform, &spec, &pattern).unwrap();
+        let model = ModelPredictor(cfg).predict(&platform, &spec, &pattern).unwrap();
+        assert!(sim.mean_last() > 0.0 && model.mean_last() > 0.0);
+        let ratio = model.mean_last() / sim.mean_last();
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "model/sim d̂ ratio {ratio} out of range (sim {}, model {})",
+            sim.mean_last(),
+            model.mean_last()
+        );
+    }
+
+    #[test]
+    fn predictor_for_round_trips_names() {
+        let cfg = BenchConfig::simulation();
+        assert_eq!(predictor_for(Backend::Sim, &cfg).name(), "sim");
+        assert_eq!(predictor_for(Backend::Model, &cfg).name(), "model");
+        assert_eq!("model".parse::<Backend>().unwrap(), Backend::Model);
+        assert!("quantum".parse::<Backend>().is_err());
+    }
+}

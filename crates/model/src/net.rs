@@ -1,0 +1,77 @@
+//! Point-to-point message timing under the LogGP-style parameters of
+//! [`Platform`], mirroring the noise-free semantics of the `pap-sim` engine.
+//!
+//! The simulator resolves each message through an event queue (inject → wire
+//! → deliver) with per-node NIC serialization clocks. The model reproduces
+//! the same arithmetic directly: a message is fully described by the sender's
+//! clock when the send is issued and the receiver's clock when the matching
+//! receive is posted, plus the two NIC clocks of the endpoints' nodes.
+//! Because every algorithm model resolves messages in a causally consistent
+//! order (receivers after senders within each dependency chain), replaying
+//! that arithmetic yields the same timestamps the event queue would produce.
+
+use pap_sim::Platform;
+
+/// Timing of one resolved point-to-point message.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MsgOut {
+    /// When the send request completes: `ts` for eager (the sender is free
+    /// as soon as the injection is scheduled), egress-done for rendezvous.
+    pub send_done: f64,
+    /// When the receive request completes (delivery matched + `o_r`).
+    pub recv_done: f64,
+}
+
+/// Shared network state: per-node NIC egress/ingress serialization clocks.
+pub(crate) struct Net<'p> {
+    pf: &'p Platform,
+    egress_free: Vec<f64>,
+    ingress_free: Vec<f64>,
+}
+
+impl<'p> Net<'p> {
+    pub fn new(pf: &'p Platform) -> Self {
+        let nodes = pf.occupied_nodes();
+        Net { pf, egress_free: vec![0.0; nodes], ingress_free: vec![0.0; nodes] }
+    }
+
+    /// Resolve one message `src → dst`.
+    ///
+    /// * `pre` — the sender's local clock immediately before the send op
+    ///   (the send issues at `ts = pre + o_s`; the caller advances the
+    ///   sender's clock by `o_s` itself).
+    /// * `tr` — the receiver's clock when the matching receive is posted
+    ///   (already including the posting `o_r`).
+    ///
+    /// Mirrors `engine.rs`: eager messages inject at `ts`; rendezvous
+    /// messages wait for the handshake, injecting at
+    /// `max(ts + L, tr) + L`. Inter-node messages serialize on the source
+    /// egress and destination ingress NIC clocks when the platform enables
+    /// NIC serialization.
+    pub fn msg(&mut self, src: usize, dst: usize, bytes: u64, pre: f64, tr: f64) -> MsgOut {
+        let pf = self.pf;
+        let ts = pre + pf.send_overhead;
+        let link = pf.link(src, dst);
+        let lat = link.latency;
+        let wire = bytes as f64 / link.bandwidth;
+        let inject = if pf.is_eager(bytes) { ts } else { (ts + lat).max(tr) + lat };
+
+        let intra = pf.same_node(src, dst);
+        let (delivered, egress_done) = if !intra && pf.nic_serialization {
+            let sn = pf.node_of(src);
+            let dn = pf.node_of(dst);
+            let start = inject.max(self.egress_free[sn]);
+            self.egress_free[sn] = start + wire;
+            let arrival = start + lat + wire;
+            let delivered = arrival.max(self.ingress_free[dn]);
+            self.ingress_free[dn] = delivered + wire;
+            (delivered, start + wire)
+        } else {
+            (inject + lat + wire, inject + wire)
+        };
+
+        let recv_done = delivered.max(tr) + pf.recv_overhead;
+        let send_done = if pf.is_eager(bytes) { ts } else { egress_done };
+        MsgOut { send_done, recv_done }
+    }
+}

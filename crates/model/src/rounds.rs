@@ -1,0 +1,430 @@
+//! Analytical models for round-structured schedules: recursive doubling,
+//! rings, Rabenseifner halving/doubling, Bruck, pairwise/linear alltoall,
+//! neighbor exchange, and the dissemination barrier.
+//!
+//! These algorithms proceed in synchronized rounds where each rank posts an
+//! isend and an irecv and then waits on both; [`exchange_round`] replays one
+//! such round for all participants against the shared [`Net`] state.
+
+use pap_collectives::topo;
+use pap_sim::Platform;
+
+use crate::net::Net;
+
+/// One exchange round: every rank `active[i]` posts `isend(to[i])` then
+/// `irecv(from[i])` and waits on both. `sbytes[i]` is the payload rank
+/// `active[i]` sends; `reduce_bytes[i]` is folded in (at γ per byte) after
+/// the waitall. The to/from maps must pair up: whoever I send to receives
+/// from me this round.
+#[allow(clippy::too_many_arguments)]
+fn exchange_round(
+    pf: &Platform,
+    net: &mut Net,
+    active: &[usize],
+    to: &[usize],
+    from: &[usize],
+    sbytes: &[u64],
+    reduce_bytes: &[u64],
+    locals: &mut [f64],
+) {
+    let n = active.len();
+    let mut pos = vec![usize::MAX; locals.len()];
+    for (i, &r) in active.iter().enumerate() {
+        pos[r] = i;
+    }
+    let pre: Vec<f64> = active.iter().map(|&r| locals[r]).collect();
+    let tr: Vec<f64> = pre.iter().map(|&t| t + pf.send_overhead + pf.recv_overhead).collect();
+    let mut outs = Vec::with_capacity(n);
+    for i in 0..n {
+        let si = pos[from[i]];
+        outs.push(net.msg(from[i], active[i], sbytes[si], pre[si], tr[i]));
+    }
+    for i in 0..n {
+        let di = pos[to[i]];
+        debug_assert_eq!(from[di], active[i], "round exchange must pair up");
+        locals[active[i]] = outs[i].recv_done.max(outs[di].send_done)
+            + reduce_bytes[i] as f64 * pf.reduce_cost_per_byte;
+    }
+}
+
+/// Blocking send `src → dst` where `dst`'s matching blocking recv is its
+/// next op. Advances both clocks (any local reduction is the caller's).
+fn blocking_pair(pf: &Platform, net: &mut Net, src: usize, dst: usize, bytes: u64, locals: &mut [f64]) {
+    let tr = locals[dst] + pf.recv_overhead;
+    let out = net.msg(src, dst, bytes, locals[src], tr);
+    locals[src] = out.send_done;
+    locals[dst] = out.recv_done;
+}
+
+/// Allreduce ID 3: recursive doubling with fold-in/fold-out of the excess
+/// ranks beyond the largest power of two.
+pub(crate) fn allreduce_recdbl(pf: &Platform, net: &mut Net, bytes: u64, starts: &[f64]) -> Vec<f64> {
+    let p = starts.len();
+    let mut locals = starts.to_vec();
+    let p2 = topo::pow2_floor(p);
+    let r = p - p2;
+    let gamma = pf.reduce_cost_per_byte;
+    for me in 0..r {
+        blocking_pair(pf, net, me + p2, me, bytes, &mut locals);
+        locals[me] += bytes as f64 * gamma;
+    }
+    let active: Vec<usize> = (0..p2).collect();
+    let b = vec![bytes; p2];
+    for t in 0..p2.trailing_zeros() {
+        let d = 1usize << t;
+        let partner: Vec<usize> = active.iter().map(|&i| i ^ d).collect();
+        exchange_round(pf, net, &active, &partner, &partner, &b, &b, &mut locals);
+    }
+    for me in 0..r {
+        // The excess rank posted its result recv right after the fold send.
+        blocking_pair(pf, net, me, me + p2, bytes, &mut locals);
+    }
+    locals
+}
+
+/// Allreduce IDs 4–5: ring reduce-scatter (in `phases` sub-chunk passes)
+/// followed by a ring allgather over whole chunks.
+pub(crate) fn allreduce_ring(
+    pf: &Platform,
+    net: &mut Net,
+    bytes: u64,
+    phases: usize,
+    starts: &[f64],
+) -> Vec<f64> {
+    let p = starts.len();
+    let mut locals = starts.to_vec();
+    if p == 1 {
+        return locals;
+    }
+    let chunk = topo::split_chunks(bytes, p);
+    let sub: Vec<Vec<u64>> = chunk.iter().map(|&cb| topo::split_chunks(cb, phases)).collect();
+    let active: Vec<usize> = (0..p).collect();
+    let right: Vec<usize> = (0..p).map(|i| (i + 1) % p).collect();
+    let left: Vec<usize> = (0..p).map(|i| (i + p - 1) % p).collect();
+    // `ph` picks a column across all of `sub`'s rows, so iterating the rows
+    // themselves is not an option here.
+    #[allow(clippy::needless_range_loop)]
+    for ph in 0..phases {
+        for t in 0..p - 1 {
+            let sb: Vec<u64> = (0..p).map(|i| sub[(i + p - t) % p][ph]).collect();
+            let rb: Vec<u64> = (0..p).map(|i| sub[(i + p - t - 1) % p][ph]).collect();
+            exchange_round(pf, net, &active, &right, &left, &sb, &rb, &mut locals);
+        }
+    }
+    let zero = vec![0u64; p];
+    for t in 0..p - 1 {
+        let sb: Vec<u64> = (0..p).map(|i| chunk[(i + 1 + p - t) % p]).collect();
+        exchange_round(pf, net, &active, &right, &left, &sb, &zero, &mut locals);
+    }
+    locals
+}
+
+/// Chunk-interval bookkeeping shared by the two Rabenseifner variants:
+/// prefix sums over `split_chunks(bytes, p2)`.
+struct Chunks {
+    prefix: Vec<u64>,
+}
+
+impl Chunks {
+    fn new(bytes: u64, p2: usize) -> Self {
+        let chunks = topo::split_chunks(bytes, p2);
+        let mut prefix = vec![0u64; p2 + 1];
+        for (i, &c) in chunks.iter().enumerate() {
+            prefix[i + 1] = prefix[i] + c;
+        }
+        Chunks { prefix }
+    }
+
+    fn range(&self, lo: usize, hi: usize) -> u64 {
+        self.prefix[hi] - self.prefix[lo]
+    }
+}
+
+/// Recursive-halving reduce-scatter over vranks `0..p2` (the shared first
+/// half of both Rabenseifner variants). `act` maps virtual to actual ranks.
+/// Returns the per-vrank `[lo, hi)` interval (always `[v, v+1)` after all
+/// steps, tracked explicitly for the doubling phase).
+fn halving_rounds(
+    pf: &Platform,
+    net: &mut Net,
+    p2: usize,
+    ch: &Chunks,
+    act: &dyn Fn(usize) -> usize,
+    locals: &mut [f64],
+) -> Vec<(usize, usize)> {
+    let steps = p2.trailing_zeros() as usize;
+    let active: Vec<usize> = (0..p2).map(act).collect();
+    let mut iv = vec![(0usize, p2); p2];
+    for t in 0..steps {
+        let d = p2 >> (t + 1);
+        let mut to = Vec::with_capacity(p2);
+        let mut sb = Vec::with_capacity(p2);
+        let mut rb = Vec::with_capacity(p2);
+        let mut next = Vec::with_capacity(p2);
+        for (v, &(lo, hi)) in iv.iter().enumerate() {
+            let mid = lo + d;
+            let (keep, send) = if v & d == 0 { ((lo, mid), (mid, hi)) } else { ((mid, hi), (lo, mid)) };
+            to.push(act(v ^ d));
+            sb.push(ch.range(send.0, send.1));
+            rb.push(ch.range(keep.0, keep.1));
+            next.push(keep);
+        }
+        exchange_round(pf, net, &active, &to, &to, &sb, &rb, locals);
+        iv = next;
+    }
+    iv
+}
+
+/// Allreduce ID 6: Rabenseifner — fold, recursive-halving reduce-scatter,
+/// recursive-doubling allgather, unfold.
+pub(crate) fn allreduce_rabenseifner(pf: &Platform, net: &mut Net, bytes: u64, starts: &[f64]) -> Vec<f64> {
+    let p = starts.len();
+    let mut locals = starts.to_vec();
+    let p2 = topo::pow2_floor(p);
+    let r = p - p2;
+    let gamma = pf.reduce_cost_per_byte;
+    for me in 0..r {
+        blocking_pair(pf, net, me + p2, me, bytes, &mut locals);
+        locals[me] += bytes as f64 * gamma;
+    }
+    let ch = Chunks::new(bytes, p2);
+    let id = |v: usize| v;
+    let mut iv = halving_rounds(pf, net, p2, &ch, &id, &mut locals);
+    let steps = p2.trailing_zeros() as usize;
+    let active: Vec<usize> = (0..p2).collect();
+    let zero = vec![0u64; p2];
+    for t in 0..steps {
+        let d = 1usize << t;
+        let to: Vec<usize> = (0..p2).map(|v| v ^ d).collect();
+        let sb: Vec<u64> = iv.iter().map(|&(lo, hi)| ch.range(lo, hi)).collect();
+        exchange_round(pf, net, &active, &to, &to, &sb, &zero, &mut locals);
+        for ivv in iv.iter_mut() {
+            let lo = ivv.0 & !(2 * d - 1);
+            *ivv = (lo, lo + 2 * d);
+        }
+    }
+    for me in 0..r {
+        blocking_pair(pf, net, me, me + p2, bytes, &mut locals);
+    }
+    locals
+}
+
+/// Reduce ID 7: Rabenseifner — fold over vranks, recursive-halving
+/// reduce-scatter, then a binomial gather of the reduced chunks to vrank 0
+/// (the actual `spec.root`).
+pub(crate) fn reduce_rabenseifner(
+    pf: &Platform,
+    net: &mut Net,
+    root: usize,
+    bytes: u64,
+    starts: &[f64],
+) -> Vec<f64> {
+    let p = starts.len();
+    let mut locals = starts.to_vec();
+    let p2 = topo::pow2_floor(p);
+    let gamma = pf.reduce_cost_per_byte;
+    let act = |v: usize| topo::actual(v, root, p);
+    for v in p2..p {
+        blocking_pair(pf, net, act(v), act(v - p2), bytes, &mut locals);
+        locals[act(v - p2)] += bytes as f64 * gamma;
+    }
+    let ch = Chunks::new(bytes, p2);
+    let iv = halving_rounds(pf, net, p2, &ch, &act, &mut locals);
+    let steps = p2.trailing_zeros() as usize;
+    // Binomial gather: in step t, vranks with bit t set blocking-send their
+    // interval to v − 2^t and are done; receivers double their interval.
+    let mut hi_of: Vec<usize> = iv.iter().map(|&(_, hi)| hi).collect();
+    let mut done = vec![false; p2];
+    for t in 0..steps {
+        let d = 1usize << t;
+        for v in 0..p2 {
+            if done[v] || v & d == 0 {
+                continue;
+            }
+            let src = act(v);
+            let dst = act(v - d);
+            blocking_pair(pf, net, src, dst, ch.range(v, hi_of[v]), &mut locals);
+            done[v] = true;
+            hi_of[v - d] = v - d + 2 * d;
+        }
+    }
+    locals
+}
+
+/// Alltoall IDs 1 and 4: linear with a request window. Per batch, each rank
+/// posts irecv/isend pairs for every distance in the batch, then waits on
+/// the whole window.
+pub(crate) fn alltoall_linear(pf: &Platform, net: &mut Net, m: u64, window: usize, starts: &[f64]) -> Vec<f64> {
+    let p = starts.len();
+    let mut locals = starts.to_vec();
+    if p == 1 {
+        return locals;
+    }
+    let dists: Vec<usize> = (1..p).collect();
+    for batch in dists.chunks(window.max(1).min(p)) {
+        let nb = batch.len();
+        // Walk every rank's posting sequence: irecv then isend per distance.
+        let mut tr = vec![vec![0.0; nb]; p];
+        let mut pre = vec![vec![0.0; nb]; p];
+        for (me, l) in locals.iter_mut().enumerate() {
+            let mut t = *l;
+            for (j, _) in batch.iter().enumerate() {
+                t += pf.recv_overhead;
+                tr[me][j] = t;
+                pre[me][j] = t;
+                t += pf.send_overhead;
+            }
+            *l = t;
+        }
+        // Resolve the batch: the message me → me+k is resolved at the
+        // receiver, so rank me's send completion for distance k lives in
+        // outs[(me+k) % p][j].
+        let mut outs = vec![Vec::with_capacity(nb); p];
+        for me in 0..p {
+            for (j, &k) in batch.iter().enumerate() {
+                let src = (me + p - k) % p;
+                outs[me].push(net.msg(src, me, m, pre[src][j], tr[me][j]));
+            }
+        }
+        for (me, l) in locals.iter_mut().enumerate() {
+            let mut t = *l;
+            for (j, &k) in batch.iter().enumerate() {
+                t = t.max(outs[me][j].recv_done).max(outs[(me + k) % p][j].send_done);
+            }
+            *l = t;
+        }
+    }
+    locals
+}
+
+/// Alltoall ID 2: pairwise exchange — round `t` swaps blocks with the ranks
+/// at ring distance `t`.
+pub(crate) fn alltoall_pairwise(pf: &Platform, net: &mut Net, m: u64, starts: &[f64]) -> Vec<f64> {
+    let p = starts.len();
+    let mut locals = starts.to_vec();
+    let active: Vec<usize> = (0..p).collect();
+    let b = vec![m; p];
+    let zero = vec![0u64; p];
+    for t in 1..p {
+        let to: Vec<usize> = (0..p).map(|i| (i + t) % p).collect();
+        let from: Vec<usize> = (0..p).map(|i| (i + p - t) % p).collect();
+        exchange_round(pf, net, &active, &to, &from, &b, &zero, &mut locals);
+    }
+    locals
+}
+
+/// Alltoall ID 3: Bruck — log₂ rounds aggregating the blocks whose ring
+/// distance has bit `k` set.
+pub(crate) fn alltoall_bruck(pf: &Platform, net: &mut Net, m: u64, starts: &[f64]) -> Vec<f64> {
+    let p = starts.len();
+    let mut locals = starts.to_vec();
+    let active: Vec<usize> = (0..p).collect();
+    let zero = vec![0u64; p];
+    let mut k = 0u32;
+    while (1usize << k) < p {
+        let d = 1usize << k;
+        let bytes = topo::count_bit_set(p, k) as u64 * m;
+        let to: Vec<usize> = (0..p).map(|i| (i + d) % p).collect();
+        let from: Vec<usize> = (0..p).map(|i| (i + p - d) % p).collect();
+        let b = vec![bytes; p];
+        exchange_round(pf, net, &active, &to, &from, &b, &zero, &mut locals);
+        k += 1;
+    }
+    locals
+}
+
+/// Barrier: dissemination — round `k` signals the rank `2^k` ahead.
+pub(crate) fn barrier_dissemination(pf: &Platform, net: &mut Net, starts: &[f64]) -> Vec<f64> {
+    let p = starts.len();
+    let mut locals = starts.to_vec();
+    let active: Vec<usize> = (0..p).collect();
+    let b = vec![1u64; p];
+    let zero = vec![0u64; p];
+    let mut k = 0u32;
+    while (1usize << k) < p {
+        let d = 1usize << k;
+        let to: Vec<usize> = (0..p).map(|i| (i + d) % p).collect();
+        let from: Vec<usize> = (0..p).map(|i| (i + p - d) % p).collect();
+        exchange_round(pf, net, &active, &to, &from, &b, &zero, &mut locals);
+        k += 1;
+    }
+    locals
+}
+
+/// Allgather ID 2 (and ID 3's non-power-of-two fallback): Bruck.
+pub(crate) fn allgather_bruck(pf: &Platform, net: &mut Net, m: u64, starts: &[f64]) -> Vec<f64> {
+    let p = starts.len();
+    let mut locals = starts.to_vec();
+    let active: Vec<usize> = (0..p).collect();
+    let zero = vec![0u64; p];
+    let mut k = 0u32;
+    while (1usize << k) < p {
+        let d = 1usize << k;
+        let bytes = d.min(p - d) as u64 * m;
+        let to: Vec<usize> = (0..p).map(|i| (i + p - d) % p).collect();
+        let from: Vec<usize> = (0..p).map(|i| (i + d) % p).collect();
+        let b = vec![bytes; p];
+        exchange_round(pf, net, &active, &to, &from, &b, &zero, &mut locals);
+        k += 1;
+    }
+    locals
+}
+
+/// Allgather ID 3: recursive doubling (power-of-two `p`).
+pub(crate) fn allgather_recdbl(pf: &Platform, net: &mut Net, m: u64, starts: &[f64]) -> Vec<f64> {
+    let p = starts.len();
+    let mut locals = starts.to_vec();
+    let active: Vec<usize> = (0..p).collect();
+    let zero = vec![0u64; p];
+    for k in 0..p.trailing_zeros() {
+        let d = 1usize << k;
+        let to: Vec<usize> = (0..p).map(|i| i ^ d).collect();
+        let b = vec![d as u64 * m; p];
+        exchange_round(pf, net, &active, &to, &to, &b, &zero, &mut locals);
+    }
+    locals
+}
+
+/// Allgather ID 4 (and ID 5's odd-`p` fallback): ring.
+pub(crate) fn allgather_ring(pf: &Platform, net: &mut Net, m: u64, starts: &[f64]) -> Vec<f64> {
+    let p = starts.len();
+    let mut locals = starts.to_vec();
+    if p == 1 {
+        return locals;
+    }
+    let active: Vec<usize> = (0..p).collect();
+    let right: Vec<usize> = (0..p).map(|i| (i + 1) % p).collect();
+    let left: Vec<usize> = (0..p).map(|i| (i + p - 1) % p).collect();
+    let b = vec![m; p];
+    let zero = vec![0u64; p];
+    for _ in 0..p - 1 {
+        exchange_round(pf, net, &active, &right, &left, &b, &zero, &mut locals);
+    }
+    locals
+}
+
+/// Allgather ID 5: neighbor exchange (even `p`): pairs swap own blocks,
+/// then alternate swapping the two most recently received blocks left/right.
+pub(crate) fn allgather_neighbor(pf: &Platform, net: &mut Net, m: u64, starts: &[f64]) -> Vec<f64> {
+    let p = starts.len();
+    let mut locals = starts.to_vec();
+    let active: Vec<usize> = (0..p).collect();
+    let zero = vec![0u64; p];
+    for s in 0..p / 2 {
+        let to: Vec<usize> = (0..p)
+            .map(|r| {
+                if s == 0 {
+                    r ^ 1
+                } else if (r % 2 == 0) == (s % 2 == 1) {
+                    (r + p - 1) % p
+                } else {
+                    (r + 1) % p
+                }
+            })
+            .collect();
+        let len = if s == 0 { 1u64 } else { 2 };
+        let b = vec![len * m; p];
+        exchange_round(pf, net, &active, &to, &to, &b, &zero, &mut locals);
+    }
+    locals
+}

@@ -1,0 +1,294 @@
+//! Analytical models for tree-structured schedules: segmented tree
+//! reduce/bcast, the in-order binary reduce, and the linear/binomial
+//! gather/scatter substrates.
+//!
+//! Each model walks the ranks of the tree in dependency order (children
+//! before parents for reductions, parents before children for
+//! distributions) and replays the builder's per-rank op sequence through
+//! [`Net::msg`]. Non-blocking send completions that a rank only waits on at
+//! the end of its schedule are accumulated in `pending` and folded into the
+//! exit time by [`RankEnds::finish`].
+
+use pap_collectives::topo::{self, TreeNode};
+use pap_sim::Platform;
+
+use crate::net::Net;
+
+/// Per-rank clocks at the end of a modeled phase: `local` is the clock after
+/// the last op issued, `pending` holds completion times of outstanding send
+/// requests the rank still waits on (waitall / trailing blocking send).
+pub(crate) struct RankEnds {
+    pub local: Vec<f64>,
+    pub pending: Vec<Vec<f64>>,
+}
+
+impl RankEnds {
+    /// Exit time per rank: local clock joined with all pending completions.
+    pub fn finish(&self) -> Vec<f64> {
+        self.local
+            .iter()
+            .zip(&self.pending)
+            .map(|(&l, pend)| pend.iter().fold(l, |a, &b| a.max(b)))
+            .collect()
+    }
+}
+
+fn depths(tree: &[TreeNode]) -> Vec<usize> {
+    (0..tree.len())
+        .map(|mut v| {
+            let mut d = 0;
+            while let Some(pv) = tree[v].parent {
+                v = pv;
+                d += 1;
+            }
+            d
+        })
+        .collect()
+}
+
+/// Ranks ordered so that dependencies resolve: deepest-first for gather-like
+/// phases, shallowest-first for scatter-like phases. Stable sort keeps the
+/// order deterministic.
+fn order_by_depth(tree: &[TreeNode], deepest_first: bool) -> Vec<usize> {
+    let d = depths(tree);
+    let mut idx: Vec<usize> = (0..tree.len()).collect();
+    if deepest_first {
+        idx.sort_by_key(|&v| std::cmp::Reverse(d[v]));
+    } else {
+        idx.sort_by_key(|&v| d[v]);
+    }
+    idx
+}
+
+/// Segmented tree reduction (Reduce IDs 1–5 and the reduce halves of
+/// Allreduce 1–2). `tree` is indexed by virtual rank; `starts` by actual
+/// rank. Per segment, a rank receives each child's partial (blocking recv +
+/// local reduce), then forwards its own partial to the parent with a
+/// non-blocking send; all sends are waited at the end.
+pub(crate) fn tree_reduce(
+    pf: &Platform,
+    net: &mut Net,
+    root: usize,
+    segs: &[u64],
+    tree: &[TreeNode],
+    starts: &[f64],
+) -> RankEnds {
+    let p = tree.len();
+    let nseg = segs.len();
+    let gamma = pf.reduce_cost_per_byte;
+    let mut local = starts.to_vec();
+    let mut pending: Vec<Vec<f64>> = vec![Vec::new(); p];
+    // pres[v][s]: vrank v's clock just before its isend of segment s.
+    let mut pres = vec![vec![f64::NAN; nseg]; p];
+    for &v in &order_by_depth(tree, true) {
+        let r = topo::actual(v, root, p);
+        let mut t = local[r];
+        for (s, &sb) in segs.iter().enumerate() {
+            for &cv in &tree[v].children {
+                let c = topo::actual(cv, root, p);
+                t += pf.recv_overhead;
+                let out = net.msg(c, r, sb, pres[cv][s], t);
+                pending[c].push(out.send_done);
+                t = out.recv_done + sb as f64 * gamma;
+            }
+            if tree[v].parent.is_some() {
+                pres[v][s] = t;
+                t += pf.send_overhead;
+            }
+        }
+        local[r] = t;
+    }
+    RankEnds { local, pending }
+}
+
+/// Segmented tree broadcast (Bcast IDs 1–5, including propagate mode — the
+/// root's init is free either way). Per segment, a rank blocks on the recv
+/// from its parent, then issues one non-blocking send per child.
+pub(crate) fn tree_bcast(
+    pf: &Platform,
+    net: &mut Net,
+    root: usize,
+    segs: &[u64],
+    tree: &[TreeNode],
+    starts: &[f64],
+) -> RankEnds {
+    let p = tree.len();
+    let nseg = segs.len();
+    let mut local = starts.to_vec();
+    let mut pending: Vec<Vec<f64>> = vec![Vec::new(); p];
+    // pres[cv][s]: the parent's clock just before its isend of segment s to
+    // child vrank cv.
+    let mut pres = vec![vec![f64::NAN; nseg]; p];
+    for &v in &order_by_depth(tree, false) {
+        let r = topo::actual(v, root, p);
+        let mut t = local[r];
+        for (s, &sb) in segs.iter().enumerate() {
+            if let Some(pv) = tree[v].parent {
+                let pr = topo::actual(pv, root, p);
+                t += pf.recv_overhead;
+                let out = net.msg(pr, r, sb, pres[v][s], t);
+                pending[pr].push(out.send_done);
+                t = out.recv_done;
+            }
+            for &cv in &tree[v].children {
+                pres[cv][s] = t;
+                t += pf.send_overhead;
+            }
+        }
+        local[r] = t;
+    }
+    RankEnds { local, pending }
+}
+
+/// Reduce ID 6: in-order binary tree over actual ranks rooted at `p − 1`,
+/// whole-vector blocking sends, plus the final forward to `spec.root` when
+/// it is not `p − 1`.
+pub(crate) fn in_order_reduce(
+    pf: &Platform,
+    net: &mut Net,
+    root: usize,
+    bytes: u64,
+    starts: &[f64],
+) -> Vec<f64> {
+    let p = starts.len();
+    let tree: Vec<TreeNode> = (0..p).map(|r| topo::in_order_binary(r, p)).collect();
+    let gamma = pf.reduce_cost_per_byte;
+    let mut local = starts.to_vec();
+    let mut pending: Vec<Vec<f64>> = vec![Vec::new(); p];
+    let mut pres = vec![f64::NAN; p];
+    for &r in &order_by_depth(&tree, true) {
+        let mut t = local[r];
+        for &c in &tree[r].children {
+            t += pf.recv_overhead;
+            let out = net.msg(c, r, bytes, pres[c], t);
+            pending[c].push(out.send_done);
+            t = out.recv_done + bytes as f64 * gamma;
+        }
+        if tree[r].parent.is_some() {
+            // Blocking send to the parent: it is this rank's last op, so the
+            // true completion is folded in via `pending`.
+            pres[r] = t;
+            t += pf.send_overhead;
+        }
+        local[r] = t;
+    }
+    let mut exits = RankEnds { local, pending }.finish();
+    if root != p - 1 && p > 1 {
+        // Rank p−1 forwards the result to the actual root.
+        let tr = exits[root] + pf.recv_overhead;
+        let out = net.msg(p - 1, root, bytes, exits[p - 1], tr);
+        exits[p - 1] = out.send_done;
+        exits[root] = out.recv_done;
+    }
+    exits
+}
+
+/// Size of the binomial subtree rooted at virtual rank `v` (mirrors the
+/// builder's `subtree_size` in `pap-collectives`).
+fn subtree_size(v: usize, p: usize) -> u64 {
+    if v == 0 {
+        p as u64
+    } else {
+        (1u64 << v.trailing_zeros()).min((p - v) as u64)
+    }
+}
+
+/// Gather ID 1: every non-root rank blocking-sends its block to the root,
+/// which receives them blocking in rank order.
+pub(crate) fn linear_gather(pf: &Platform, net: &mut Net, root: usize, m: u64, starts: &[f64]) -> Vec<f64> {
+    let mut exits = starts.to_vec();
+    let mut t = starts[root];
+    for (i, &start) in starts.iter().enumerate() {
+        if i == root {
+            continue;
+        }
+        t += pf.recv_overhead;
+        let out = net.msg(i, root, m, start, t);
+        exits[i] = out.send_done;
+        t = out.recv_done;
+    }
+    exits[root] = t;
+    exits
+}
+
+/// Gather ID 2: binomial gather over virtual ranks; children are drained in
+/// reverse order, each edge carries the child's whole subtree.
+pub(crate) fn binomial_gather(
+    pf: &Platform,
+    net: &mut Net,
+    root: usize,
+    m: u64,
+    starts: &[f64],
+) -> RankEnds {
+    let p = starts.len();
+    let tree: Vec<TreeNode> = (0..p).map(|v| topo::binomial(v, p)).collect();
+    let mut local = starts.to_vec();
+    let mut pending: Vec<Vec<f64>> = vec![Vec::new(); p];
+    let mut pres = vec![f64::NAN; p];
+    for &v in &order_by_depth(&tree, true) {
+        let r = topo::actual(v, root, p);
+        let mut t = local[r];
+        for &cv in tree[v].children.iter().rev() {
+            let c = topo::actual(cv, root, p);
+            t += pf.recv_overhead;
+            let out = net.msg(c, r, subtree_size(cv, p) * m, pres[cv], t);
+            pending[c].push(out.send_done);
+            t = out.recv_done;
+        }
+        if tree[v].parent.is_some() {
+            pres[v] = t;
+            t += pf.send_overhead;
+        }
+        local[r] = t;
+    }
+    RankEnds { local, pending }
+}
+
+/// Scatter ID 1: the root blocking-sends each rank's block in rank order;
+/// every non-root rank's single op is the blocking recv.
+pub(crate) fn linear_scatter(pf: &Platform, net: &mut Net, root: usize, m: u64, starts: &[f64]) -> Vec<f64> {
+    let mut exits = starts.to_vec();
+    let mut t = starts[root];
+    for (i, &start) in starts.iter().enumerate() {
+        if i == root {
+            continue;
+        }
+        let tr = start + pf.recv_overhead;
+        let out = net.msg(root, i, m, t, tr);
+        t = out.send_done;
+        exits[i] = out.recv_done;
+    }
+    exits[root] = t;
+    exits
+}
+
+/// Scatter ID 2: binomial scatter over virtual ranks; a rank first blocks on
+/// the recv from its parent, then blocking-sends each child its subtree
+/// (children in reverse order).
+pub(crate) fn binomial_scatter(
+    pf: &Platform,
+    net: &mut Net,
+    root: usize,
+    m: u64,
+    starts: &[f64],
+) -> Vec<f64> {
+    let p = starts.len();
+    let tree: Vec<TreeNode> = (0..p).map(|v| topo::binomial(v, p)).collect();
+    // begin[r]: recv completion (root: arrival) — set by the parent before
+    // rank r is processed.
+    let mut begin = starts.to_vec();
+    let mut exits = starts.to_vec();
+    for &v in &order_by_depth(&tree, false) {
+        let r = topo::actual(v, root, p);
+        let mut t = begin[r];
+        for &cv in tree[v].children.iter().rev() {
+            let c = topo::actual(cv, root, p);
+            let tr = starts[c] + pf.recv_overhead;
+            let out = net.msg(r, c, subtree_size(cv, p) * m, t, tr);
+            t = out.send_done;
+            begin[c] = out.recv_done;
+        }
+        exits[r] = t;
+    }
+    exits
+}

@@ -4,15 +4,19 @@
 //! papctl machines
 //! papctl algorithms [collective]
 //! papctl pattern <shape> <ranks> <skew_us> [--seed N]
-//! papctl bench <machine> <collective> <alg> <bytes> [--ranks N] [--shape S] [--skew-us X] [--nrep N]
-//! papctl sweep <machine> <collective> <bytes> [--ranks N] [--nrep N]
-//! papctl tune  <machine> [--ranks N] [--nrep N]            # emits a tuning-table JSON
+//! papctl bench <machine> <collective> <alg> <bytes> [--ranks N] [--shape S] [--skew-us X] [--nrep N] [--backend B]
+//! papctl sweep <machine> <collective> <bytes> [--ranks N] [--nrep N] [--backend B]
+//! papctl tune  <machine> [--ranks N] [--nrep N] [--backend B]   # emits a tuning-table JSON
 //! papctl ft    <machine> [--ranks N] [--alg A] [--iters N]
 //! papctl trace <machine> [--ranks N]                       # FT pattern in file format
 //! ```
 //!
 //! All commands accept `--threads N` to bound the parallel fan-out
 //! (default: `PAP_THREADS` env, else all cores; 1 forces sequential).
+//! `bench`/`sweep`/`tune` accept `--backend {sim,model}`: `sim` (default)
+//! resolves every cell through the event-driven simulator, `model` through
+//! the closed-form analytical cost models of `pap-model` (orders of
+//! magnitude faster; cross-validated by the differential test suite).
 
 use std::process::ExitCode;
 use std::str::FromStr;
@@ -23,7 +27,7 @@ use pap::collectives::registry::{algorithms, experiment_ids};
 use pap::collectives::{CollSpec, CollectiveKind};
 use pap::core::report::render_normalized_table;
 use pap::core::{select, tune_machine, BenchMatrix, SelectionPolicy, TunePlan};
-use pap::microbench::{measure, sweep, BenchConfig, SkewPolicy};
+use pap::microbench::{measure, sweep, Backend, BenchConfig, SkewPolicy};
 use pap::sim::{MachineId, Platform};
 use pap::tracer::{ideal_observer, CollectiveTrace, TracerConfig};
 
@@ -114,6 +118,9 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage: papctl <machines|algorithms|pattern|bench|sweep|tune|ft|trace|help> …
 global flags: --threads N   worker threads for sweep/tune fan-out
                             (default: PAP_THREADS env, else all cores; 1 = sequential)
+bench/sweep/tune flags: --backend {sim,model}
+                            sim   = event-driven simulator (default)
+                            model = closed-form analytical LogGP models
 run `papctl help` or see the module docs for argument details";
 
 fn machines() -> Result<(), String> {
@@ -178,6 +185,21 @@ fn platform_from(args: &Args, machine_pos: usize) -> Result<Platform, String> {
     Ok(Platform::preset(machine, ranks))
 }
 
+/// The measurement configuration for a machine, honoring `--backend`.
+fn bench_config(args: &Args, platform: &Platform, nrep: usize) -> Result<BenchConfig, String> {
+    let backend: Backend = match args.flags.iter().find(|(n, _)| n == "backend") {
+        Some((_, Some(v))) => v.parse()?,
+        Some((_, None)) => return Err("--backend needs a value (sim|model)".to_string()),
+        None => Backend::Sim,
+    };
+    let cfg = if platform.machine == MachineId::SimCluster {
+        BenchConfig::simulation()
+    } else {
+        BenchConfig::real_machine(nrep)
+    };
+    Ok(cfg.with_backend(backend))
+}
+
 fn cmd_bench(args: &Args) -> Result<(), String> {
     let platform = platform_from(args, 0)?;
     let kind: CollectiveKind = args.pos(1)?.parse()?;
@@ -188,11 +210,7 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     let nrep = args.flag("nrep", 3usize);
 
     let pattern = generate(shape, platform.ranks, skew_us * 1e-6, args.flag("seed", 1u64));
-    let cfg = if platform.machine == MachineId::SimCluster {
-        BenchConfig::simulation()
-    } else {
-        BenchConfig::real_machine(nrep)
-    };
+    let cfg = bench_config(args, &platform, nrep)?;
     let spec = CollSpec::new(kind, alg, bytes);
     let stats = measure(&platform, &spec, &pattern, &cfg).map_err(|e| e.to_string())?;
     println!(
@@ -215,11 +233,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     let bytes: u64 = args.pos(2)?.parse().map_err(|_| "bytes must be a number")?;
     let nrep = args.flag("nrep", 3usize);
     let algs = experiment_ids(kind);
-    let cfg = if platform.machine == MachineId::SimCluster {
-        BenchConfig::simulation()
-    } else {
-        BenchConfig::real_machine(nrep)
-    };
+    let cfg = bench_config(args, &platform, nrep)?;
     let sw = sweep(&platform, kind, &algs, &Shape::SUITE, bytes, SkewPolicy::FactorOfAvg(1.0), &[], &cfg)
         .map_err(|e| e.to_string())?;
     let m = BenchMatrix::from_sweep(&sw);
@@ -237,11 +251,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
 fn cmd_tune(args: &Args) -> Result<(), String> {
     let platform = platform_from(args, 0)?;
     let nrep = args.flag("nrep", 3usize);
-    let cfg = if platform.machine == MachineId::SimCluster {
-        BenchConfig::simulation()
-    } else {
-        BenchConfig::real_machine(nrep)
-    };
+    let cfg = bench_config(args, &platform, nrep)?;
     let plan = TunePlan::default();
     let (table, records) = tune_machine(&platform, &plan, &cfg)?;
     for rec in &records {
@@ -329,6 +339,17 @@ mod tests {
         let a = args(&["hydra"]);
         assert_eq!(a.flag("nrep", 3usize), 3);
         assert_eq!(a.flag("shape", "no_delay".to_string()), "no_delay");
+    }
+
+    #[test]
+    fn backend_flag_selects_model() {
+        let a = args(&["simcluster", "--backend", "model"]);
+        let p = platform_from(&a, 0).unwrap();
+        let cfg = bench_config(&a, &p, 3).unwrap();
+        assert_eq!(cfg.backend, Backend::Model);
+        let default = bench_config(&args(&["simcluster"]), &p, 3).unwrap();
+        assert_eq!(default.backend, Backend::Sim);
+        assert!(bench_config(&args(&["simcluster", "--backend", "magic"]), &p, 3).is_err());
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //! * [`tracer`] — collective tracing (PMPI-substitute)
 //! * [`microbench`] — ReproMPI-style micro-benchmark harness with pattern
 //!   injection
+//! * [`model`] — closed-form LogGP-style cost models: the analytical
+//!   prediction backend (`--backend model`), cross-validated against the
+//!   simulator by the differential test suite
 //! * [`apps`] — NAS-FT proxy and other mini-apps
 //! * [`core`] — the paper's contribution: robustness analysis and
 //!   arrival-aware algorithm selection
@@ -30,6 +33,7 @@ pub use pap_clocksync as clocksync;
 pub use pap_collectives as collectives;
 pub use pap_core as core;
 pub use pap_microbench as microbench;
+pub use pap_model as model;
 pub use pap_parallel as parallel;
 pub use pap_sim as sim;
 pub use pap_tracer as tracer;

@@ -16,8 +16,23 @@ fn kinds() -> impl Strategy<Value = CollectiveKind> {
         Just(CollectiveKind::Alltoall),
         Just(CollectiveKind::Bcast),
         Just(CollectiveKind::Barrier),
+        Just(CollectiveKind::Gather),
+        Just(CollectiveKind::Scatter),
+        Just(CollectiveKind::Allgather),
     ]
 }
+
+/// Every collective kind, for the deterministic exhaustive sweeps below.
+const ALL_KINDS: [CollectiveKind; 8] = [
+    CollectiveKind::Reduce,
+    CollectiveKind::Allreduce,
+    CollectiveKind::Alltoall,
+    CollectiveKind::Bcast,
+    CollectiveKind::Barrier,
+    CollectiveKind::Gather,
+    CollectiveKind::Scatter,
+    CollectiveKind::Allgather,
+];
 
 fn shapes() -> impl Strategy<Value = Shape> {
     prop_oneof![
@@ -131,6 +146,33 @@ proptest! {
         let shifted = measure(&platform, &spec, &uniform, &cfg).unwrap();
         let rel = (shifted.mean_last() - base.mean_last()).abs() / base.mean_last();
         prop_assert!(rel < 1e-9, "uniform delay changed d̂ by {rel}");
+    }
+}
+
+/// Deterministic companion to `any_collective_completes_and_verifies`:
+/// proptest *samples* the parameter space, this sweeps the corner that has
+/// historically broken collective implementations — non-power-of-two
+/// process counts combined with **every** nonzero root — exhaustively for
+/// every registered algorithm.
+#[test]
+fn every_algorithm_handles_awkward_p_and_all_roots() {
+    for kind in ALL_KINDS {
+        for a in algorithms(kind) {
+            for p in [3usize, 6, 9] {
+                for root in 0..p {
+                    let spec = CollSpec::new(kind, a.id, 96).with_root(root);
+                    let built = build(&spec, p)
+                        .unwrap_or_else(|e| panic!("{kind} A{} p={p} root={root}: {e}", a.id));
+                    let programs =
+                        built.rank_ops.into_iter().map(RankProgram::from_ops).collect();
+                    let platform = Platform::simcluster(p);
+                    let out = run(&platform, Job::new(programs), &SimConfig::tracking())
+                        .unwrap_or_else(|e| panic!("{kind} A{} p={p} root={root}: {e}", a.id));
+                    verify(&spec, p, &out)
+                        .unwrap_or_else(|e| panic!("{kind} A{} p={p} root={root}: {e}", a.id));
+                }
+            }
+        }
     }
 }
 

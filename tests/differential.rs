@@ -1,0 +1,181 @@
+//! Differential cross-validation of the analytical backend (`pap-model`)
+//! against the event-driven simulator on the paper's Fig. 4 grid:
+//! SimCluster, 64 ranks, the three paper collectives with their experiment
+//! algorithm sets, sizes {8 B, 1 KiB, 32 KiB}, all nine arrival shapes,
+//! skew = 1.5 × calibrated mean runtime.
+//!
+//! Selection only consumes *rankings*, so the acceptance bar is rank
+//! correlation (Spearman ≥ 0.8 per (collective, pattern) cell), with a
+//! looser magnitude bound as a sanity net. A golden fixture in
+//! `results/model_vs_sim_fig4.json` pins the orderings; regenerate it with
+//! `PAP_UPDATE_FIXTURES=1 cargo test --release --test differential`.
+
+use std::sync::OnceLock;
+
+use pap::arrival::Shape;
+use pap::collectives::registry::experiment_ids;
+use pap::collectives::CollectiveKind;
+use pap::core::{differential_grid, DiffCell};
+use pap::microbench::BenchConfig;
+use pap::sim::Platform;
+
+const RANKS: usize = 64;
+const SIZES: [u64; 3] = [8, 1024, 32768];
+const SKEW_FACTOR: f64 = 1.5;
+
+/// The Fig. 4 grid, computed once and shared by every test in this file.
+fn grid() -> &'static [DiffCell] {
+    static GRID: OnceLock<Vec<DiffCell>> = OnceLock::new();
+    GRID.get_or_init(|| {
+        let platform = Platform::simcluster(RANKS);
+        let cfg = BenchConfig::simulation();
+        let mut cells = Vec::new();
+        for kind in CollectiveKind::PAPER {
+            let algs = experiment_ids(kind);
+            cells.extend(
+                differential_grid(
+                    &platform,
+                    kind,
+                    &algs,
+                    &SIZES,
+                    &Shape::SUITE,
+                    SKEW_FACTOR,
+                    &cfg,
+                )
+                .expect("differential grid"),
+            );
+        }
+        cells
+    })
+}
+
+/// The tentpole acceptance criterion: the model reproduces the simulator's
+/// ranking of (algorithm, size) pairs in every (collective, pattern) cell.
+#[test]
+fn fig4_model_ranks_match_simulator() {
+    let mut violations = Vec::new();
+    for c in grid() {
+        eprintln!(
+            "{} / {:<14} spearman {:+.4} kendall {:+.4} med-rel {:.3} max-rel {:.3}",
+            c.kind, c.pattern, c.spearman, c.kendall, c.median_rel_err, c.max_rel_err
+        );
+        if c.spearman < 0.8 {
+            violations.push(format!(
+                "({}, {}): spearman {:.4} < 0.8\n  sim:   {:?}\n  model: {:?}",
+                c.kind, c.pattern, c.spearman, c.sim_order, c.model_order
+            ));
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "model/sim rank disagreement on the Fig. 4 grid:\n{}",
+        violations.join("\n")
+    );
+}
+
+/// Magnitude sanity net: the model is allowed to be off in absolute terms
+/// (it resolves NIC contention in schedule order, not timestamp order), but
+/// the typical (algorithm, size) pair of every cell must track the
+/// simulator closely. The *max* bound is deliberately loose: on shapes
+/// where the straggler arrives after everyone else finished helping, the
+/// simulator's d̂ approaches the straggler's solo work and relative error
+/// on that near-zero baseline blows up without the ranking being wrong
+/// (measured worst case ≈ 30 on the seed grid).
+#[test]
+fn fig4_model_magnitudes_bounded() {
+    let mut violations = Vec::new();
+    for c in grid() {
+        if c.median_rel_err > 0.25 {
+            violations.push(format!(
+                "({}, {}): median relative error {:.3} > 0.25",
+                c.kind, c.pattern, c.median_rel_err
+            ));
+        }
+        if c.max_rel_err > 50.0 {
+            violations.push(format!(
+                "({}, {}): max relative error {:.3} > 50",
+                c.kind, c.pattern, c.max_rel_err
+            ));
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "model magnitudes drifted from the simulator:\n{}",
+        violations.join("\n")
+    );
+}
+
+/// Golden-fixture regression: the per-cell orderings and (rounded)
+/// correlations on the Fig. 4 grid are pinned in `results/`. Any cost-model
+/// or simulator change that shifts a ranking shows up as a readable JSON
+/// diff. Set `PAP_UPDATE_FIXTURES=1` to regenerate after an intentional
+/// change.
+#[test]
+fn fig4_fixture_is_current() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/results/model_vs_sim_fig4.json");
+    let current = fixture(grid());
+    if std::env::var("PAP_UPDATE_FIXTURES").is_ok_and(|v| v == "1") {
+        let pretty = serde_json::to_string_pretty(&current).unwrap();
+        std::fs::write(path, pretty + "\n").unwrap();
+        return;
+    }
+    let stored: Fixture = serde_json::from_str(
+        &std::fs::read_to_string(path).expect(
+            "missing results/model_vs_sim_fig4.json — generate it with \
+             PAP_UPDATE_FIXTURES=1 cargo test --release --test differential",
+        ),
+    )
+    .unwrap();
+    assert_eq!(
+        stored, current,
+        "Fig. 4 model-vs-sim fixture is stale; if the ranking change is \
+         intentional, regenerate with PAP_UPDATE_FIXTURES=1"
+    );
+}
+
+/// The pinned payload: grid metadata plus, per cell, the two orderings and
+/// correlations rounded to 4 decimals (full-precision floats would make the
+/// fixture churn on any harmless arithmetic reordering).
+#[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+struct Fixture {
+    platform: String,
+    ranks: usize,
+    sizes: Vec<u64>,
+    skew_factor: f64,
+    cells: Vec<FixtureCell>,
+}
+
+#[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+struct FixtureCell {
+    kind: String,
+    pattern: String,
+    spearman: f64,
+    kendall: f64,
+    median_rel_err: f64,
+    sim_order: Vec<String>,
+    model_order: Vec<String>,
+}
+
+fn fixture(cells: &[DiffCell]) -> Fixture {
+    fn r4(x: f64) -> f64 {
+        (x * 1e4).round() / 1e4
+    }
+    Fixture {
+        platform: "SimCluster".into(),
+        ranks: RANKS,
+        sizes: SIZES.to_vec(),
+        skew_factor: SKEW_FACTOR,
+        cells: cells
+            .iter()
+            .map(|c| FixtureCell {
+                kind: c.kind.name().into(),
+                pattern: c.pattern.clone(),
+                spearman: r4(c.spearman),
+                kendall: r4(c.kendall),
+                median_rel_err: r4(c.median_rel_err),
+                sim_order: c.sim_order.clone(),
+                model_order: c.model_order.clone(),
+            })
+            .collect(),
+    }
+}

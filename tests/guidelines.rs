@@ -1,0 +1,173 @@
+//! Self-consistency ("performance guideline") tests in the style of
+//! Hunold/Träff's MPI performance-guideline work, run against **both** cost
+//! backends (event-driven simulator and analytical model):
+//!
+//! * composition guidelines — `Allreduce(n) ≲ Reduce(n) + Bcast(n)` and
+//!   `Scatter(n) ≲ Bcast(n)` for the best registered algorithm of each
+//!   collective;
+//! * monotonicity guidelines — for *every* registered algorithm of every
+//!   collective, runtime must not decrease when the message size or the
+//!   process count grows.
+//!
+//! A backend that violates these is internally inconsistent regardless of
+//! how well it matches any reference, which makes them a cheap,
+//! reference-free complement to the differential suite. Violations are
+//! collected and printed as `(backend, collective, alg, p, size)` cells.
+
+use pap::arrival::{generate, Shape};
+use pap::collectives::registry::algorithms;
+use pap::collectives::{CollSpec, CollectiveKind};
+use pap::microbench::{measure, Backend, BenchConfig};
+use pap::sim::Platform;
+
+const BACKENDS: [Backend; 2] = [Backend::Sim, Backend::Model];
+
+const KINDS: [CollectiveKind; 8] = [
+    CollectiveKind::Reduce,
+    CollectiveKind::Allreduce,
+    CollectiveKind::Alltoall,
+    CollectiveKind::Bcast,
+    CollectiveKind::Barrier,
+    CollectiveKind::Gather,
+    CollectiveKind::Scatter,
+    CollectiveKind::Allgather,
+];
+
+/// Completion time (d̂ under a no-delay pattern = the collective's runtime)
+/// of one algorithm on `p` SimCluster ranks.
+fn runtime(backend: Backend, kind: CollectiveKind, alg: u8, p: usize, bytes: u64) -> f64 {
+    let platform = Platform::simcluster(p);
+    let pattern = generate(Shape::NoDelay, p, 0.0, 1);
+    let spec = CollSpec::new(kind, alg, bytes);
+    let cfg = BenchConfig::simulation().with_backend(backend);
+    measure(&platform, &spec, &pattern, &cfg)
+        .unwrap_or_else(|e| panic!("{backend} {kind} A{alg} p={p} {bytes} B: {e}"))
+        .mean_last()
+}
+
+/// Best (minimum) runtime over all registered algorithms of a collective.
+fn best(backend: Backend, kind: CollectiveKind, p: usize, bytes: u64) -> f64 {
+    algorithms(kind)
+        .iter()
+        .map(|a| runtime(backend, kind, a.id, p, bytes))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Multiplicative slack plus an absolute epsilon: guidelines are "≲", not
+/// "≤" — constant factors (extra tree setup, an o_s here or there) are
+/// allowed, structural violations are not.
+fn within(lhs: f64, rhs: f64) -> bool {
+    lhs <= rhs * 1.10 + 2e-6
+}
+
+/// Allreduce(n) ≲ Reduce(n) + Bcast(n): an allreduce that loses to the
+/// trivial two-phase composition means its cost model (or schedule) is
+/// structurally wrong.
+#[test]
+fn allreduce_not_slower_than_reduce_plus_bcast() {
+    let mut violations = Vec::new();
+    for backend in BACKENDS {
+        for p in [8, 16, 64] {
+            for n in [1024u64, 32768] {
+                let ar = best(backend, CollectiveKind::Allreduce, p, n);
+                let rd = best(backend, CollectiveKind::Reduce, p, n);
+                let bc = best(backend, CollectiveKind::Bcast, p, n);
+                if !within(ar, rd + bc) {
+                    violations.push(format!(
+                        "({backend}, MPI_Allreduce, best, p={p}, {n} B): \
+                         {ar:.3e} > reduce {rd:.3e} + bcast {bc:.3e}"
+                    ));
+                }
+            }
+        }
+    }
+    assert!(violations.is_empty(), "guideline violations:\n{}", violations.join("\n"));
+}
+
+/// Scatter(n) ≲ Bcast(n): broadcasting the whole n-byte vector is a valid
+/// (wasteful) scatter implementation, so a scatter that is slower than the
+/// best bcast of the same total volume is inconsistent. Scatter's
+/// `spec.bytes` is the per-rank block, hence `n / p`.
+#[test]
+fn scatter_not_slower_than_bcast() {
+    let mut violations = Vec::new();
+    for backend in BACKENDS {
+        for p in [8, 16, 64] {
+            for n in [8192u64, 65536] {
+                let sc = best(backend, CollectiveKind::Scatter, p, n / p as u64);
+                let bc = best(backend, CollectiveKind::Bcast, p, n);
+                if !within(sc, bc) {
+                    violations.push(format!(
+                        "({backend}, MPI_Scatter, best, p={p}, {n} B total): \
+                         {sc:.3e} > bcast {bc:.3e}"
+                    ));
+                }
+            }
+        }
+    }
+    assert!(violations.is_empty(), "guideline violations:\n{}", violations.join("\n"));
+}
+
+/// Sending more bytes must never be faster, for every registered algorithm
+/// of every collective, on both backends.
+#[test]
+fn runtime_is_monotone_in_message_size() {
+    const SIZES: [u64; 3] = [256, 1024, 4096];
+    let p = 8;
+    let mut violations = Vec::new();
+    for backend in BACKENDS {
+        for kind in KINDS {
+            for a in algorithms(kind) {
+                let ts: Vec<f64> =
+                    SIZES.iter().map(|&n| runtime(backend, kind, a.id, p, n)).collect();
+                for w in 0..SIZES.len() - 1 {
+                    if ts[w] > ts[w + 1] * 1.02 + 1e-9 {
+                        violations.push(format!(
+                            "({backend}, {kind}, A{}, p={p}, {} B → {} B): \
+                             {:.3e} > {:.3e}",
+                            a.id,
+                            SIZES[w],
+                            SIZES[w + 1],
+                            ts[w],
+                            ts[w + 1]
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    assert!(violations.is_empty(), "guideline violations:\n{}", violations.join("\n"));
+}
+
+/// Adding processes must never make a collective faster, for every
+/// registered algorithm of every collective, on both backends. (All counts
+/// stay on one 32-core node so this isolates schedule depth from network
+/// topology effects.)
+#[test]
+fn runtime_is_monotone_in_process_count() {
+    const PS: [usize; 3] = [4, 8, 16];
+    let n = 1024;
+    let mut violations = Vec::new();
+    for backend in BACKENDS {
+        for kind in KINDS {
+            for a in algorithms(kind) {
+                let ts: Vec<f64> =
+                    PS.iter().map(|&p| runtime(backend, kind, a.id, p, n)).collect();
+                for w in 0..PS.len() - 1 {
+                    if ts[w] > ts[w + 1] * 1.02 + 1e-9 {
+                        violations.push(format!(
+                            "({backend}, {kind}, A{}, p={} → p={}, {n} B): \
+                             {:.3e} > {:.3e}",
+                            a.id,
+                            PS[w],
+                            PS[w + 1],
+                            ts[w],
+                            ts[w + 1]
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    assert!(violations.is_empty(), "guideline violations:\n{}", violations.join("\n"));
+}
