@@ -15,6 +15,9 @@
 //!
 //! A second proxy ([`stencil`]) exercises an Allreduce-dominated workload.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod ft;
 pub mod imbalance;
 pub mod stencil;

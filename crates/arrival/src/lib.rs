@@ -15,6 +15,9 @@
 //! non-trivial shapes, the maximum equals `s` exactly so that patterns with
 //! the same `s` are comparable.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod measured;
 pub mod pattern;
 pub mod shapes;

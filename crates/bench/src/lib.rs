@@ -8,6 +8,9 @@
 //! Scale defaults are sized for a single-core CI-class machine
 //! (256 ranks); pass `--full` for the paper's 32×32 = 1024 ranks.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod figures;
 
 pub use figures::*;

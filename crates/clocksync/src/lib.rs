@@ -20,6 +20,9 @@
 //! a requested global instant into per-rank *true* start times including the
 //! residual synchronization error.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod clock;
 pub mod harmonize;
 pub mod hca3;

@@ -1,7 +1,7 @@
 //! `MPI_Barrier`: dissemination barrier (used by the harness's harmonized
 //! starts and by "linear with sync"-style pacing).
 
-use pap_sim::Op;
+use pap_sim::{Op, Value};
 
 use crate::spec::{BuildError, Built, CollSpec};
 
@@ -19,6 +19,12 @@ fn dissemination(spec: &CollSpec, p: usize) -> Built {
     let mut rank_ops = Vec::with_capacity(p);
     for me in 0..p {
         let mut ops = Vec::new();
+        if p > 1 {
+            // Signal payload: the 1-byte tokens are sent from slot 0, which
+            // must hold a defined (empty) value rather than read an
+            // uninitialized slot (pap-lint: UseBeforeInit).
+            ops.push(Op::InitSlot { slot: 0, value: Value::empty() });
+        }
         let mut k = 0u32;
         while (1usize << k) < p {
             let d = 1usize << k;

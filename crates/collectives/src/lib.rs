@@ -35,6 +35,9 @@
 //! verify(&spec, p, &out).unwrap();
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod adaptive;
 pub mod allgather;
 pub mod allreduce;

@@ -20,6 +20,9 @@
 //! 5. [`predict`] projects application runtimes from micro-benchmark data
 //!    (Fig. 9).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod decision;
 pub mod diff;
 pub mod matrix;

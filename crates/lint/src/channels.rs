@@ -1,0 +1,201 @@
+//! Static message matching: the timing-free mirror of the engine's FIFO
+//! `(src, dst, tag)` channels.
+//!
+//! The engine matches the k-th send posted on a channel with the k-th
+//! receive posted on it, *regardless of interleaving* (both sides are FIFO
+//! deques). Posting order per rank is program order, so the pairing is fully
+//! determined statically: pair the k-th send in the sender's program with
+//! the k-th receive in the receiver's program, per channel.
+
+use std::collections::HashMap;
+
+use pap_sim::program::{CommDir, Tag};
+use pap_sim::Op;
+
+use crate::diag::{DiagClass, Diagnostic, OpLoc, Severity};
+use crate::{FlatOp, FlatProgram};
+
+/// The statically matched counterpart of a send or receive.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Counterpart {
+    /// Peer rank.
+    pub rank: usize,
+    /// Flat op index of the counterpart in the peer's program.
+    pub flat: usize,
+}
+
+/// Matching result: per rank, flat-op-index → counterpart.
+#[derive(Debug, Default)]
+pub(crate) struct Matching {
+    /// For send ops: the matched receive, if any.
+    pub send_match: Vec<HashMap<usize, Counterpart>>,
+    /// For receive ops: the matched send, if any.
+    pub recv_match: Vec<HashMap<usize, Counterpart>>,
+}
+
+struct ChannelSide {
+    /// (flat index in the owner's program, loc, bytes) — bytes 0 for recvs.
+    entries: Vec<(usize, OpLoc, u64)>,
+}
+
+/// Run the matching pass: build the static pairing and report self-sends,
+/// out-of-range peers, unmatched messages, tag conflicts, and matched-pair
+/// size disagreement.
+pub(crate) fn check(flat: &[FlatProgram<'_>], ranks: usize) -> (Matching, Vec<Diagnostic>) {
+    let mut diags = Vec::new();
+    let mut matching = Matching {
+        send_match: vec![HashMap::new(); ranks],
+        recv_match: vec![HashMap::new(); ranks],
+    };
+    // channel (src, dst, tag) → (sends, recvs), insertion-ordered for
+    // deterministic reports.
+    let mut channels: HashMap<(usize, usize, Tag), (ChannelSide, ChannelSide)> = HashMap::new();
+    let mut channel_order: Vec<(usize, usize, Tag)> = Vec::new();
+
+    for (rank, prog) in flat.iter().enumerate() {
+        for (i, f) in prog.ops.iter().enumerate() {
+            let Some(m) = f.op.comm_meta() else { continue };
+            if m.peer == rank {
+                diags.push(Diagnostic {
+                    class: DiagClass::SelfMessage,
+                    severity: Severity::Error,
+                    loc: f.loc,
+                    message: format!("rank {rank} addresses itself (tag {})", m.tag),
+                    related: vec![],
+                });
+                continue;
+            }
+            if m.peer >= ranks {
+                diags.push(Diagnostic {
+                    class: DiagClass::PeerOutOfRange,
+                    severity: Severity::Error,
+                    loc: f.loc,
+                    message: format!("peer {} out of range for {ranks} ranks", m.peer),
+                    related: vec![],
+                });
+                continue;
+            }
+            let key = match m.dir {
+                CommDir::Send => (rank, m.peer, m.tag),
+                CommDir::Recv => (m.peer, rank, m.tag),
+            };
+            let (sends, recvs) = channels.entry(key).or_insert_with(|| {
+                channel_order.push(key);
+                (ChannelSide { entries: Vec::new() }, ChannelSide { entries: Vec::new() })
+            });
+            match m.dir {
+                CommDir::Send => sends.entries.push((i, f.loc, m.bytes.unwrap_or(0))),
+                CommDir::Recv => recvs.entries.push((i, f.loc, 0)),
+            }
+        }
+    }
+
+    for key @ (src, dst, tag) in channel_order {
+        let (sends, recvs) = &channels[&key];
+        let n = sends.entries.len().min(recvs.entries.len());
+        for k in 0..n {
+            let (si, _, _) = sends.entries[k];
+            let (ri, _, _) = recvs.entries[k];
+            matching.send_match[src].insert(si, Counterpart { rank: dst, flat: ri });
+            matching.recv_match[dst].insert(ri, Counterpart { rank: src, flat: si });
+        }
+        for &(_, loc, _) in &sends.entries[n..] {
+            diags.push(Diagnostic {
+                class: DiagClass::UnmatchedSend,
+                severity: Severity::Error,
+                loc,
+                message: format!(
+                    "send {src}->{dst} tag {tag}: {} send(s) but only {} receive(s) on the channel",
+                    sends.entries.len(),
+                    recvs.entries.len()
+                ),
+                related: vec![],
+            });
+        }
+        for &(_, loc, _) in &recvs.entries[n..] {
+            diags.push(Diagnostic {
+                class: DiagClass::UnmatchedRecv,
+                severity: Severity::Error,
+                loc,
+                message: format!(
+                    "receive {src}->{dst} tag {tag}: {} receive(s) but only {} send(s) on the channel",
+                    recvs.entries.len(),
+                    sends.entries.len()
+                ),
+                related: vec![],
+            });
+        }
+        // Tag-conflict lint: ≥ 2 messages on one channel means two can be
+        // outstanding concurrently (an eager send stays buffered until its
+        // receive is posted). FIFO order keeps the pairing well-defined
+        // here, so identical sizes are a warning (verify the reuse is
+        // intentional); differing sizes are an error — on any transport
+        // without total per-channel ordering the pairing is ambiguous.
+        if sends.entries.len() >= 2 {
+            let sizes: Vec<u64> = sends.entries.iter().map(|&(_, _, b)| b).collect();
+            let uniform = sizes.windows(2).all(|w| w[0] == w[1]);
+            diags.push(Diagnostic {
+                class: DiagClass::TagConflict,
+                severity: if uniform { Severity::Warning } else { Severity::Error },
+                loc: sends.entries[1].1,
+                message: format!(
+                    "{} messages share channel {src}->{dst} tag {tag} ({}); \
+                     FIFO-ordered reuse — sizes {:?}",
+                    sends.entries.len(),
+                    if uniform { "uniform sizes" } else { "DIFFERING sizes" },
+                    sizes,
+                ),
+                related: vec![sends.entries[0].1],
+            });
+        }
+        // Size disagreement between matched pairs: a receive does not carry
+        // a byte count in this ISA, so compare the sender's size with the
+        // first `ReduceLocal` that consumes the received slot (the only
+        // size-declaring reader).
+        for k in 0..n {
+            let (_, _, bytes) = sends.entries[k];
+            let (ri, rloc, _) = recvs.entries[k];
+            if let Some(d) = reduce_size_disagreement(&flat[dst].ops, ri, bytes, rloc) {
+                diags.push(d);
+            }
+        }
+    }
+    (matching, diags)
+}
+
+/// Scan forward from the receive at flat index `ri` for the first op that
+/// consumes the received slot; if it is a `ReduceLocal` declaring a
+/// different byte count than the send carried, report a size mismatch.
+fn reduce_size_disagreement(
+    ops: &[FlatOp<'_>],
+    ri: usize,
+    sent_bytes: u64,
+    recv_loc: OpLoc,
+) -> Option<Diagnostic> {
+    let slot = ops[ri].op.comm_meta()?.slot;
+    for f in &ops[ri + 1..] {
+        if let Op::ReduceLocal { from, bytes, .. } = f.op {
+            if *from == slot {
+                if *bytes != sent_bytes {
+                    return Some(Diagnostic {
+                        class: DiagClass::SizeMismatch,
+                        severity: Severity::Error,
+                        loc: f.loc,
+                        message: format!(
+                            "ReduceLocal consumes {bytes} B from slot {slot} but the matched \
+                             send delivered {sent_bytes} B"
+                        ),
+                        related: vec![recv_loc],
+                    });
+                }
+                return None;
+            }
+        }
+        // Any other read consumes the value without declaring a size; any
+        // full overwrite replaces it — either way the comparison window ends.
+        if f.op.slots_read().contains(&slot) || f.op.slots_written().contains(&slot) {
+            return None;
+        }
+    }
+    None
+}

@@ -1,0 +1,196 @@
+//! Slot-dataflow check: per-rank abstract interpretation of the slot table.
+//!
+//! Tracks each slot through `Uninit → Init / Cleared / PendingRecv` and
+//! reports:
+//!
+//! * **use-before-init** — a value-consuming read (send source, `ReduceLocal`
+//!   source, `CopySlot` source) of a slot nothing defined. Accumulation
+//!   *targets* (`into` of `ReduceLocal`/`MergeMove`/`OverwriteMove`) are
+//!   exempt: the engine folds into an implicit empty value, and every
+//!   reduction/gather builder relies on that.
+//! * **send-from-cleared-slot** — a send sourcing a slot after `ClearSlot`.
+//! * **dead stores** — a program-authored write (`InitSlot`, `CopySlot`)
+//!   fully overwritten before any read. Message deliveries are exempt:
+//!   zero-payload synchronization receives legitimately discard data.
+//! * **pending-recv hazards** — touching a slot between an `Irecv` posting
+//!   into it and the completing `WaitAll`: the delivery races the access
+//!   (the engine writes the payload at event-delivery time).
+
+use std::collections::HashMap;
+
+use pap_sim::Op;
+
+use crate::diag::{DiagClass, Diagnostic, OpLoc, Severity};
+use crate::FlatProgram;
+
+#[derive(Clone, Copy, PartialEq)]
+enum SlotState {
+    Uninit,
+    Init,
+    Cleared,
+    /// An undelivered `Irecv` targets the slot (req, posting loc).
+    Pending(usize, OpLoc),
+}
+
+/// A program-authored write not yet read (for dead-store detection).
+struct LiveStore {
+    loc: OpLoc,
+    authored: bool, // InitSlot / CopySlot-into (flag) vs delivery/clear (don't)
+}
+
+pub(crate) fn check(flat: &[FlatProgram<'_>]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for prog in flat {
+        let mut state: HashMap<usize, SlotState> = HashMap::new();
+        let mut live: HashMap<usize, LiveStore> = HashMap::new();
+        // Irecv req → slot, to resolve deliveries at the completing WaitAll.
+        let mut recv_req_slot: HashMap<usize, usize> = HashMap::new();
+
+        let get = |state: &HashMap<usize, SlotState>, s: usize| {
+            *state.get(&s).unwrap_or(&SlotState::Uninit)
+        };
+
+        for f in &prog.ops {
+            // A read of a pending slot races the delivery.
+            let hazard_check = |slot: usize,
+                                    state: &mut HashMap<usize, SlotState>,
+                                    diags: &mut Vec<Diagnostic>| {
+                if let SlotState::Pending(req, posted) = get(state, slot) {
+                    diags.push(Diagnostic {
+                        class: DiagClass::PendingRecvHazard,
+                        severity: Severity::Warning,
+                        loc: f.loc,
+                        message: format!(
+                            "slot {slot} is accessed while the Irecv posted at {posted} \
+                             (request {req}) is still undelivered; the delivery races \
+                             this access"
+                        ),
+                        related: vec![posted],
+                    });
+                    // Recover: treat as initialized to keep later findings precise.
+                    state.insert(slot, SlotState::Init);
+                }
+            };
+
+            // Value-consuming reads.
+            for slot in f.op.slots_read() {
+                hazard_check(slot, &mut state, &mut diags);
+                if let Some(ls) = live.get_mut(&slot) {
+                    ls.authored = false; // value observed: store is live
+                }
+                let consuming = matches!(
+                    f.op,
+                    Op::Send { .. } | Op::Isend { .. } | Op::ReduceLocal { .. } | Op::CopySlot { .. }
+                );
+                // `slots_read` lists accumulation targets too; only the
+                // *source* slot of a consuming op must be defined.
+                let is_source = match f.op {
+                    Op::Send { slot: s, .. } | Op::Isend { slot: s, .. } => slot == *s,
+                    Op::ReduceLocal { from, .. } | Op::CopySlot { from, .. } => slot == *from,
+                    _ => false,
+                };
+                if consuming && is_source {
+                    match get(&state, slot) {
+                        SlotState::Uninit => diags.push(Diagnostic {
+                            class: DiagClass::UseBeforeInit,
+                            severity: Severity::Error,
+                            loc: f.loc,
+                            message: format!(
+                                "slot {slot} is consumed before anything initialized it"
+                            ),
+                            related: vec![],
+                        }),
+                        SlotState::Cleared => {
+                            if matches!(f.op, Op::Send { .. } | Op::Isend { .. }) {
+                                diags.push(Diagnostic {
+                                    class: DiagClass::SendFromClearedSlot,
+                                    severity: Severity::Error,
+                                    loc: f.loc,
+                                    message: format!(
+                                        "send sources slot {slot} after it was cleared"
+                                    ),
+                                    related: vec![],
+                                });
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+
+            // Writes and state transitions.
+            match f.op {
+                Op::InitSlot { slot, .. } => {
+                    hazard_check(*slot, &mut state, &mut diags);
+                    record_write(&mut live, &mut diags, *slot, f.loc, true);
+                    state.insert(*slot, SlotState::Init);
+                }
+                Op::CopySlot { into, .. } => {
+                    hazard_check(*into, &mut state, &mut diags);
+                    record_write(&mut live, &mut diags, *into, f.loc, true);
+                    state.insert(*into, SlotState::Init);
+                }
+                Op::ClearSlot { slot } => {
+                    hazard_check(*slot, &mut state, &mut diags);
+                    record_write(&mut live, &mut diags, *slot, f.loc, false);
+                    state.insert(*slot, SlotState::Cleared);
+                }
+                Op::Recv { slot, .. } => {
+                    hazard_check(*slot, &mut state, &mut diags);
+                    record_write(&mut live, &mut diags, *slot, f.loc, false);
+                    state.insert(*slot, SlotState::Init);
+                }
+                Op::Irecv { slot, req, .. } => {
+                    hazard_check(*slot, &mut state, &mut diags);
+                    recv_req_slot.insert(*req, *slot);
+                    state.insert(*slot, SlotState::Pending(*req, f.loc));
+                }
+                Op::WaitAll { reqs } => {
+                    for req in reqs {
+                        if let Some(slot) = recv_req_slot.remove(req) {
+                            if let SlotState::Pending(p_req, posted) = get(&state, slot) {
+                                if p_req == *req {
+                                    // Delivery lands here.
+                                    record_write(&mut live, &mut diags, slot, posted, false);
+                                    state.insert(slot, SlotState::Init);
+                                }
+                            }
+                        }
+                    }
+                }
+                // Accumulating / pruning ops leave the target initialized.
+                Op::ReduceLocal { into, .. }
+                | Op::MergeMove { into, .. }
+                | Op::OverwriteMove { into, .. } => {
+                    state.insert(*into, SlotState::Init);
+                }
+                _ => {}
+            }
+        }
+    }
+    diags
+}
+
+/// Register a full write to `slot`; flag the previous write when it was a
+/// program-authored value that nothing read.
+fn record_write(
+    live: &mut HashMap<usize, LiveStore>,
+    diags: &mut Vec<Diagnostic>,
+    slot: usize,
+    loc: OpLoc,
+    authored: bool,
+) {
+    if let Some(prev) = live.insert(slot, LiveStore { loc, authored }) {
+        if prev.authored {
+            diags.push(Diagnostic {
+                class: DiagClass::DeadStore,
+                severity: Severity::Warning,
+                loc: prev.loc,
+                message: format!(
+                    "value written to slot {slot} is overwritten at {loc} before any read"
+                ),
+                related: vec![loc],
+            });
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Request-lifecycle check: a per-rank linear scan mirroring the engine's
+//! request table (`Free → Pending → freed by WaitAll`).
+
+use std::collections::HashMap;
+
+use pap_sim::Op;
+
+use crate::diag::{DiagClass, Diagnostic, OpLoc, Severity};
+use crate::FlatProgram;
+
+pub(crate) fn check(flat: &[FlatProgram<'_>]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for prog in flat {
+        // req → loc of the posting op.
+        let mut pending: HashMap<usize, OpLoc> = HashMap::new();
+        for f in &prog.ops {
+            match f.op {
+                Op::Isend { req, .. } | Op::Irecv { req, .. } => {
+                    if let Some(prev) = pending.insert(*req, f.loc) {
+                        diags.push(Diagnostic {
+                            class: DiagClass::RequestReuse,
+                            severity: Severity::Error,
+                            loc: f.loc,
+                            message: format!(
+                                "request {req} re-posted while the operation from {prev} \
+                                 is still outstanding (the engine rejects this at runtime)"
+                            ),
+                            related: vec![prev],
+                        });
+                    }
+                }
+                Op::WaitAll { reqs } => {
+                    let mut seen = Vec::new();
+                    for &req in reqs {
+                        if seen.contains(&req) {
+                            continue; // duplicate ID in one WaitAll is idempotent
+                        }
+                        seen.push(req);
+                        if pending.remove(&req).is_none() {
+                            diags.push(Diagnostic {
+                                class: DiagClass::WaitNeverPosted,
+                                severity: Severity::Error,
+                                loc: f.loc,
+                                message: format!(
+                                    "WaitAll waits on request {req}, which no prior \
+                                     Isend/Irecv posted (the engine reports it as never \
+                                     started, or hangs if the table is sized past it)"
+                                ),
+                                related: vec![],
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut leftovers: Vec<(usize, OpLoc)> = pending.into_iter().collect();
+        leftovers.sort_by_key(|&(req, loc)| (loc, req));
+        for (req, loc) in leftovers {
+            diags.push(Diagnostic {
+                class: DiagClass::RequestNeverWaited,
+                severity: Severity::Warning,
+                loc,
+                message: format!(
+                    "request {req} is posted but never completed by a WaitAll; \
+                     its completion (and any received data) is unobservable"
+                ),
+                related: vec![],
+            });
+        }
+    }
+    diags
+}

@@ -55,6 +55,10 @@ pub struct BenchConfig {
     pub hca3: Hca3Config,
     /// Prediction backend: event-driven simulator or analytical model.
     pub backend: Backend,
+    /// Opt-in pre-run static check: lint the built job with `pap-lint`
+    /// (matched against the platform's eager threshold) before the first
+    /// simulator run and fail the cell on any error-severity finding.
+    pub lint: bool,
 }
 
 impl Default for BenchConfig {
@@ -66,6 +70,7 @@ impl Default for BenchConfig {
             clock_sync: false,
             hca3: Hca3Config::default(),
             backend: Backend::Sim,
+            lint: false,
         }
     }
 }
@@ -94,6 +99,12 @@ impl BenchConfig {
         self.backend = backend;
         self
     }
+
+    /// Enable the pre-run static lint (see [`BenchConfig::lint`]).
+    pub fn with_lint(mut self) -> Self {
+        self.lint = true;
+        self
+    }
 }
 
 /// One repetition's metrics, from observed (calibrated-clock) timestamps.
@@ -115,7 +126,15 @@ pub enum BenchError {
     /// The analytical model backend rejected the cell.
     Model(pap_model::ModelError),
     /// Pattern length does not match the platform rank count.
-    PatternMismatch { pattern: usize, ranks: usize },
+    PatternMismatch {
+        /// Number of delays in the arrival pattern.
+        pattern: usize,
+        /// Number of ranks on the platform.
+        ranks: usize,
+    },
+    /// The pre-run static check found error-severity defects
+    /// (`BenchConfig::lint`); the rendered report is attached.
+    Lint(String),
 }
 
 impl std::fmt::Display for BenchError {
@@ -127,6 +146,7 @@ impl std::fmt::Display for BenchError {
             BenchError::PatternMismatch { pattern, ranks } => {
                 write!(f, "pattern has {pattern} delays but platform has {ranks} ranks")
             }
+            BenchError::Lint(report) => write!(f, "pre-run lint failed:\n{report}"),
         }
     }
 }
@@ -206,6 +226,14 @@ pub fn measure(
         programs.push(prog);
     }
     let job = Job::new(programs);
+
+    if cfg.lint {
+        let lint_cfg = pap_lint::LintConfig::for_platform(platform);
+        let report = pap_lint::lint_job(&job, &lint_cfg);
+        if !report.is_clean() {
+            return Err(BenchError::Lint(report.render()));
+        }
+    }
 
     let mut reps = Vec::with_capacity(cfg.nrep);
     for rep in 0..cfg.nrep {
@@ -321,6 +349,17 @@ mod tests {
             .unwrap();
         let diff = (st.mean_last() - ideal.mean_last()).abs();
         assert!(diff < 5e-6, "clock-sync effect too large: {diff}");
+    }
+
+    #[test]
+    fn pre_run_lint_passes_registry_schedules_and_changes_nothing() {
+        let platform = Platform::simcluster(8);
+        let spec = CollSpec::new(CollectiveKind::Allreduce, 4, 2048);
+        let pat = pattern(Shape::NoDelay, 8, 0.0);
+        let plain = measure(&platform, &spec, &pat, &BenchConfig::simulation()).unwrap();
+        let linted =
+            measure(&platform, &spec, &pat, &BenchConfig::simulation().with_lint()).unwrap();
+        assert_eq!(plain.mean_last(), linted.mean_last(), "lint must be observation-free");
     }
 
     #[test]

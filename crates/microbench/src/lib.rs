@@ -19,6 +19,9 @@
 //! * **§IV-C (robustness)** — give each algorithm a pattern scaled to *its
 //!   own* `NoDelay` runtime `tᵢ` ([`SkewPolicy::PerAlgorithm`]).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod adaptive;
 pub mod harness;
 pub mod predictor;

@@ -21,6 +21,9 @@
 //!
 //! Entry point: [`predict`] (or [`predict_exits`] for per-rank exit times).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use pap_arrival::ArrivalPattern;
 use pap_collectives::registry::{algorithm, CollectiveKind};
 use pap_collectives::{topo, CollSpec};
@@ -51,7 +54,12 @@ pub enum ModelError {
     /// Invalid specification (root out of range, zero ranks, zero segment).
     Invalid(String),
     /// Pattern length does not match the platform's rank count.
-    PatternMismatch { pattern: usize, ranks: usize },
+    PatternMismatch {
+        /// Number of delays in the arrival pattern.
+        pattern: usize,
+        /// Number of ranks on the platform.
+        ranks: usize,
+    },
 }
 
 impl std::fmt::Display for ModelError {

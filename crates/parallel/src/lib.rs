@@ -17,6 +17,9 @@
 //! parallelism (e.g. the tuner's kind × size grid) is not multiplied by
 //! inner parallelism (each cell's sweep).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 

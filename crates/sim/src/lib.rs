@@ -46,6 +46,9 @@
 //! assert!(out.finish[0] > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod data;
 pub mod engine;
 pub mod noise;
@@ -58,7 +61,7 @@ pub use data::{RankSet, Value};
 pub use engine::{run, run_ref, RunOutcome, SimError};
 pub use noise::NoiseModel;
 pub use platform::{LinkParams, MachineId, Platform};
-pub use program::{Job, Label, Op, RankProgram, Segment};
+pub use program::{CommDir, CommMeta, Job, Label, Op, RankProgram, Segment};
 pub use time::{secs_to_us, us, SimTime};
 
 /// Engine configuration: RNG seed, noise model, and whether message payloads

@@ -15,10 +15,48 @@ pub type Slot = usize;
 /// Index into a rank's request table (for `Isend`/`Irecv`/`WaitAll`).
 pub type ReqId = usize;
 
-/// Message tag. Schedules must not reuse a tag for two concurrently
-/// outstanding messages between the same (src, dst) pair unless they are
-/// intentionally order-matched FIFO.
+/// Message tag.
+///
+/// **Invariant (enforced by `pap-lint`):** within one ordered `(src, dst)`
+/// rank pair, a tag names a FIFO channel; the engine matches the k-th send on
+/// a `(src, dst, tag)` channel with the k-th posted receive, in posting
+/// order. A schedule must therefore not keep two messages outstanding on the
+/// same channel unless (a) the FIFO pairing is intended *and* (b) both
+/// messages carry the same byte count — on a transport without total
+/// per-channel ordering the pairing would otherwise be ambiguous. The
+/// `pap-lint` crate reports violations as `TagConflict` (a warning when all
+/// sizes on the channel agree, an error when they differ).
 pub type Tag = u64;
+
+/// Direction of a point-to-point communication op (see [`Op::comm_meta`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommDir {
+    /// The op emits a message (`Send`/`Isend`).
+    Send,
+    /// The op consumes a message (`Recv`/`Irecv`).
+    Recv,
+}
+
+/// Static metadata of a communication op, extracted by [`Op::comm_meta`] so
+/// analysis passes (e.g. `pap-lint`) need not match every variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommMeta {
+    /// Whether the op sends or receives.
+    pub dir: CommDir,
+    /// The peer rank (`to` for sends, `from` for receives).
+    pub peer: usize,
+    /// The match tag.
+    pub tag: Tag,
+    /// Message size in bytes. Sends declare it; receives take the sender's
+    /// size, so this is `None` for `Recv`/`Irecv`.
+    pub bytes: Option<u64>,
+    /// The payload slot (source for sends, destination for receives).
+    pub slot: Slot,
+    /// The completion request for non-blocking ops, `None` for blocking ones.
+    pub req: Option<ReqId>,
+    /// Whether the op may block the issuing rank (`Send`/`Recv`).
+    pub blocking: bool,
+}
 
 /// One operation of a rank program.
 #[derive(Debug, Clone, PartialEq)]
@@ -222,6 +260,87 @@ impl Op {
             _ => None,
         }
     }
+
+    /// Communication metadata for point-to-point ops, `None` for local ops.
+    pub fn comm_meta(&self) -> Option<CommMeta> {
+        match self {
+            Op::Send { to, tag, bytes, slot, .. } => Some(CommMeta {
+                dir: CommDir::Send,
+                peer: *to,
+                tag: *tag,
+                bytes: Some(*bytes),
+                slot: *slot,
+                req: None,
+                blocking: true,
+            }),
+            Op::Isend { to, tag, bytes, slot, req, .. } => Some(CommMeta {
+                dir: CommDir::Send,
+                peer: *to,
+                tag: *tag,
+                bytes: Some(*bytes),
+                slot: *slot,
+                req: Some(*req),
+                blocking: false,
+            }),
+            Op::Recv { from, tag, slot } => Some(CommMeta {
+                dir: CommDir::Recv,
+                peer: *from,
+                tag: *tag,
+                bytes: None,
+                slot: *slot,
+                req: None,
+                blocking: true,
+            }),
+            Op::Irecv { from, tag, slot, req } => Some(CommMeta {
+                dir: CommDir::Recv,
+                peer: *from,
+                tag: *tag,
+                bytes: None,
+                slot: *slot,
+                req: Some(*req),
+                blocking: false,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Whether executing this op may suspend the rank until *another rank*
+    /// makes progress (rendezvous sends, receives, request completion).
+    /// `Compute`/`SleepUntil` advance local time but never wait on a peer.
+    pub fn is_blocking(&self) -> bool {
+        matches!(self, Op::Send { .. } | Op::Recv { .. } | Op::WaitAll { .. })
+    }
+
+    /// Slots whose *current content* this op consumes. Accumulation targets
+    /// (`into` of `ReduceLocal`/`MergeMove`/`OverwriteMove`) and pruned slots
+    /// count as reads too: the engine folds into / filters their prior value.
+    pub fn slots_read(&self) -> Vec<Slot> {
+        match self {
+            Op::Send { slot, .. } | Op::Isend { slot, .. } => vec![*slot],
+            Op::ReduceLocal { from, into, .. }
+            | Op::MergeMove { from, into }
+            | Op::OverwriteMove { from, into } => vec![*from, *into],
+            Op::CopySlot { from, .. } => vec![*from],
+            Op::DropBlocks { slot, .. } => vec![*slot],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Slots this op (or its later completion, for `Irecv`) writes.
+    pub fn slots_written(&self) -> Vec<Slot> {
+        match self {
+            Op::Recv { slot, .. }
+            | Op::Irecv { slot, .. }
+            | Op::InitSlot { slot, .. }
+            | Op::ClearSlot { slot }
+            | Op::DropBlocks { slot, .. } => vec![*slot],
+            Op::ReduceLocal { into, .. }
+            | Op::MergeMove { into, .. }
+            | Op::OverwriteMove { into, .. }
+            | Op::CopySlot { into, .. } => vec![*into],
+            _ => Vec::new(),
+        }
+    }
 }
 
 /// Semantic label of a segment, used by the tracer and harness to identify
@@ -368,6 +487,33 @@ mod tests {
         p.push_labeled(Label { kind: 1, seq: 0 }, vec![Op::compute(0.5)]);
         assert_eq!(p.segments[0].label, Some(Label { kind: 1, seq: 0 }));
         assert_eq!(p.op_count(), 1);
+    }
+
+    #[test]
+    fn comm_meta_classifies_p2p_ops() {
+        let m = Op::send(3, 7, 64, 2).comm_meta().unwrap();
+        assert_eq!((m.dir, m.peer, m.tag, m.bytes, m.slot, m.req, m.blocking),
+                   (CommDir::Send, 3, 7, Some(64), 2, None, true));
+        let m = Op::irecv(1, 9, 4, 5).comm_meta().unwrap();
+        assert_eq!((m.dir, m.peer, m.tag, m.bytes, m.slot, m.req, m.blocking),
+                   (CommDir::Recv, 1, 9, None, 4, Some(5), false));
+        assert!(Op::compute(1.0).comm_meta().is_none());
+        assert!(Op::waitall(vec![0]).comm_meta().is_none());
+    }
+
+    #[test]
+    fn blocking_and_slot_access_classification() {
+        assert!(Op::send(1, 0, 8, 0).is_blocking());
+        assert!(Op::recv(1, 0, 0).is_blocking());
+        assert!(Op::waitall(vec![0]).is_blocking());
+        assert!(!Op::isend(1, 0, 8, 0, 0).is_blocking());
+        assert!(!Op::compute(1.0).is_blocking());
+        assert_eq!(Op::ReduceLocal { from: 2, into: 5, bytes: 1 }.slots_read(), vec![2, 5]);
+        assert_eq!(Op::ReduceLocal { from: 2, into: 5, bytes: 1 }.slots_written(), vec![5]);
+        assert_eq!(Op::recv(1, 0, 3).slots_read(), Vec::<Slot>::new());
+        assert_eq!(Op::recv(1, 0, 3).slots_written(), vec![3]);
+        assert_eq!(Op::CopySlot { from: 1, into: 2 }.slots_read(), vec![1]);
+        assert_eq!(Op::CopySlot { from: 1, into: 2 }.slots_written(), vec![2]);
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //! times to *observed* times through each node's calibrated clock, and
 //! aggregates.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use pap_arrival::MeasuredPattern;
 use pap_clocksync::{ClusterClocks, SyncedClock};
 use pap_sim::engine::RunOutcome;

@@ -9,6 +9,7 @@
 //! papctl tune  <machine> [--ranks N] [--nrep N] [--backend B]   # emits a tuning-table JSON
 //! papctl ft    <machine> [--ranks N] [--alg A] [--iters N]
 //! papctl trace <machine> [--ranks N]                       # FT pattern in file format
+//! papctl lint  [--json] [--ranks 8,12,32] [--eager BYTES]  # static registry sweep
 //! ```
 //!
 //! All commands accept `--threads N` to bound the parallel fan-out
@@ -27,6 +28,7 @@ use pap::collectives::registry::{algorithms, experiment_ids};
 use pap::collectives::{CollSpec, CollectiveKind};
 use pap::core::report::render_normalized_table;
 use pap::core::{select, tune_machine, BenchMatrix, SelectionPolicy, TunePlan};
+use pap::lint::{sweep_registry, SweepConfig};
 use pap::microbench::{measure, sweep, Backend, BenchConfig, SkewPolicy};
 use pap::sim::{MachineId, Platform};
 use pap::tracer::{ideal_observer, CollectiveTrace, TracerConfig};
@@ -100,6 +102,7 @@ fn main() -> ExitCode {
         "tune" => cmd_tune(&args),
         "ft" => cmd_ft(&args),
         "trace" => cmd_trace(&args),
+        "lint" => cmd_lint(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -115,12 +118,15 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: papctl <machines|algorithms|pattern|bench|sweep|tune|ft|trace|help> …
+const USAGE: &str = "usage: papctl <machines|algorithms|pattern|bench|sweep|tune|ft|trace|lint|help> …
 global flags: --threads N   worker threads for sweep/tune fan-out
                             (default: PAP_THREADS env, else all cores; 1 = sequential)
 bench/sweep/tune flags: --backend {sim,model}
                             sim   = event-driven simulator (default)
                             model = closed-form analytical LogGP models
+lint flags: --json          machine-readable SweepSummary document
+            --ranks A,B,C   rank counts to sweep (default 8,12,32)
+            --eager BYTES   eager threshold for the protocol analysis (default 16384)
 run `papctl help` or see the module docs for argument details";
 
 fn machines() -> Result<(), String> {
@@ -313,6 +319,46 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     );
     print!("{}", render_pattern_file(&pat));
     Ok(())
+}
+
+fn cmd_lint(args: &Args) -> Result<(), String> {
+    let mut cfg = SweepConfig::default();
+    if let Some((_, Some(v))) = args.flags.iter().find(|(n, _)| n == "ranks") {
+        cfg.ranks = v
+            .split(',')
+            .map(|s| s.trim().parse::<usize>().map_err(|_| format!("bad rank count '{s}'")))
+            .collect::<Result<_, _>>()?;
+        if cfg.ranks.is_empty() {
+            return Err("--ranks needs at least one rank count".to_string());
+        }
+    }
+    let eager = args.flag("eager", cfg.eager_threshold);
+    cfg.eager_threshold = eager;
+    // Keep the size grid straddling whatever threshold was chosen.
+    cfg.sizes = vec![eager.div_ceil(32).max(1), eager, eager + 1, eager.saturating_mul(8)];
+    let summary = sweep_registry(&cfg);
+    if args.flags.iter().any(|(n, _)| n == "json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?
+        );
+    } else {
+        print!("{}", summary.render_table());
+        for f in &summary.findings {
+            eprintln!(
+                "{} alg {} p={} root={} bytes={}:",
+                f.collective, f.alg, f.ranks, f.root, f.bytes
+            );
+            for d in &f.diagnostics {
+                eprintln!("  {d}");
+            }
+        }
+    }
+    if summary.is_clean() {
+        Ok(())
+    } else {
+        Err(format!("{} error-severity finding(s) across {} case(s)", summary.errors, summary.cases))
+    }
 }
 
 #[cfg(test)]

@@ -23,15 +23,22 @@
 //! * [`apps`] — NAS-FT proxy and other mini-apps
 //! * [`core`] — the paper's contribution: robustness analysis and
 //!   arrival-aware algorithm selection
+//! * [`lint`] — zero-execution static schedule verifier (`papctl lint`):
+//!   message matching, deadlock/protocol-fragility, tag conflicts, request
+//!   lifecycle, slot dataflow
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for the
 //! experiment index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use pap_apps as apps;
 pub use pap_arrival as arrival;
 pub use pap_clocksync as clocksync;
 pub use pap_collectives as collectives;
 pub use pap_core as core;
+pub use pap_lint as lint;
 pub use pap_microbench as microbench;
 pub use pap_model as model;
 pub use pap_parallel as parallel;
