@@ -22,7 +22,7 @@ pub mod measured;
 pub mod pattern;
 pub mod shapes;
 
-pub use measured::MeasuredPattern;
+pub use measured::{classify_delays, MeasuredPattern};
 pub use pattern::{parse_pattern_file, render_pattern_file, ArrivalPattern};
 pub use shapes::{generate, Shape};
 

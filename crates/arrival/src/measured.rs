@@ -86,18 +86,38 @@ impl MeasuredPattern {
     /// Used to answer "which of the Fig. 3 shapes does this application's
     /// pattern resemble?".
     pub fn classify(&self) -> (Shape, f64) {
-        let p = self.len();
-        let mine = center(&self.avg_delay);
-        let mut best = (Shape::Random, f64::NEG_INFINITY);
-        for sh in Shape::ARTIFICIAL {
-            let proto = generate(sh, p, 1.0, 0);
-            let c = cosine(&mine, &center(&proto.delays));
-            if c > best.1 {
-                best = (sh, c);
-            }
-        }
-        best
+        classify_delays(&self.avg_delay)
     }
+}
+
+/// Classify a per-rank delay (or raw arrival-time) vector against the known
+/// pattern shapes: the nearest Fig. 3 shape by cosine similarity of the
+/// mean-centered delay vectors, i.e. by the *relative imbalance profile*
+/// (absolute offsets and the overall skew magnitude cancel out).
+///
+/// A vector with no spread at all (every rank equal, including the
+/// single-rank case) is [`Shape::NoDelay`] with similarity `1.0`. The online
+/// selection service uses this to map a query's observed arrival samples to
+/// the benchmarked pattern suite.
+///
+/// # Panics
+/// Panics if `delays` is empty.
+pub fn classify_delays(delays: &[f64]) -> (Shape, f64) {
+    assert!(!delays.is_empty(), "cannot classify an empty delay vector");
+    let mine = center(delays);
+    if delays.len() < 2 || mine.iter().all(|&d| d == 0.0) {
+        return (Shape::NoDelay, 1.0);
+    }
+    let p = delays.len();
+    let mut best = (Shape::Random, f64::NEG_INFINITY);
+    for sh in Shape::ARTIFICIAL {
+        let proto = generate(sh, p, 1.0, 0);
+        let c = cosine(&mine, &center(&proto.delays));
+        if c > best.1 {
+            best = (sh, c);
+        }
+    }
+    best
 }
 
 fn center(v: &[f64]) -> Vec<f64> {
@@ -153,6 +173,21 @@ mod tests {
             assert_eq!(got, sh, "similarity {sim}");
             assert!(sim > 0.99);
         }
+    }
+
+    #[test]
+    fn classify_delays_handles_flat_scaled_and_shifted_vectors() {
+        // No spread (any magnitude) → NoDelay.
+        assert_eq!(classify_delays(&[0.0; 8]), (Shape::NoDelay, 1.0));
+        assert_eq!(classify_delays(&[3.5; 16]), (Shape::NoDelay, 1.0));
+        assert_eq!(classify_delays(&[7.0]), (Shape::NoDelay, 1.0));
+        // Scale and absolute offset are irrelevant: raw arrival timestamps
+        // classify the same as re-based delays.
+        let proto = generate(Shape::LastDelayed, 12, 1.0, 0);
+        let shifted: Vec<f64> = proto.delays.iter().map(|d| 100.0 + 0.25 * d).collect();
+        let (sh, sim) = classify_delays(&shifted);
+        assert_eq!(sh, Shape::LastDelayed);
+        assert!(sim > 0.99, "similarity {sim}");
     }
 
     #[test]

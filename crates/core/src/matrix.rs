@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 
 /// `(pattern × algorithm)` grid of mean last-delay runtimes, with the
 /// derived quantities used throughout the paper's figures.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchMatrix {
     /// Collective under study.
     pub kind: CollectiveKind,

@@ -20,8 +20,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Explicit override; 0 means "not set".
 static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -120,6 +121,142 @@ where
     par_map(&idx, |_, &i| f(i))
 }
 
+/// Run `f` with this thread marked as a pool worker, so any [`par_map`]
+/// it performs (directly or transitively) stays sequential. Long-running
+/// services use this to keep total parallelism bounded by their own pool
+/// instead of multiplying it by the fan-out width.
+pub fn sequential<R>(f: impl FnOnce() -> R) -> R {
+    let was = IN_WORKER.with(|w| w.replace(true));
+    let out = f();
+    IN_WORKER.with(|w| w.set(was));
+    out
+}
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolShared {
+    queue: Mutex<PoolQueue>,
+    /// Signalled when a task is pushed or the pool starts shutting down.
+    task_ready: Condvar,
+    /// Signalled when a queue slot frees up (for bounded [`Pool::submit`]).
+    slot_free: Condvar,
+    bound: usize,
+}
+
+struct PoolQueue {
+    tasks: VecDeque<Task>,
+    shutdown: bool,
+    /// When shutting down: run the queued backlog (`true`, drain) or drop it
+    /// (`false`, abort). In-flight tasks always run to completion.
+    run_backlog: bool,
+}
+
+/// A bounded FIFO pool of long-lived worker threads for dynamically
+/// submitted tasks (as opposed to [`par_map`]'s static grids).
+///
+/// * [`Pool::submit`] blocks while the queue holds `queue_bound` pending
+///   tasks — natural backpressure for servers feeding connections into the
+///   pool.
+/// * Workers run tasks with the [`in_worker`] flag set, so a task calling
+///   [`par_map`] runs it sequentially: total parallelism stays bounded by
+///   the pool size.
+/// * [`Pool::join`] stops intake, runs the queued backlog, and joins the
+///   workers (graceful drain). [`Pool::abort`] drops the backlog and joins
+///   after in-flight tasks finish.
+pub struct Pool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawn a pool of `workers` threads with a queue bound of
+    /// `queue_bound` pending tasks (both clamped to at least 1).
+    pub fn new(workers: usize, queue_bound: usize) -> Pool {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(PoolQueue {
+                tasks: VecDeque::new(),
+                shutdown: false,
+                run_backlog: true,
+            }),
+            task_ready: Condvar::new(),
+            slot_free: Condvar::new(),
+            bound: queue_bound.max(1),
+        });
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    IN_WORKER.with(|flag| flag.set(true));
+                    loop {
+                        let task = {
+                            let mut q = shared.queue.lock().expect("pool queue poisoned");
+                            loop {
+                                if q.shutdown && (!q.run_backlog || q.tasks.is_empty()) {
+                                    return;
+                                }
+                                if let Some(t) = q.tasks.pop_front() {
+                                    shared.slot_free.notify_one();
+                                    break t;
+                                }
+                                q = shared.task_ready.wait(q).expect("pool queue poisoned");
+                            }
+                        };
+                        task();
+                    }
+                })
+            })
+            .collect();
+        Pool { shared, workers }
+    }
+
+    /// Enqueue a task, blocking while the queue is full. Returns `false`
+    /// (dropping the task) if the pool is shutting down.
+    pub fn submit(&self, f: impl FnOnce() + Send + 'static) -> bool {
+        let mut q = self.shared.queue.lock().expect("pool queue poisoned");
+        while !q.shutdown && q.tasks.len() >= self.shared.bound {
+            q = self.shared.slot_free.wait(q).expect("pool queue poisoned");
+        }
+        if q.shutdown {
+            return false;
+        }
+        q.tasks.push_back(Box::new(f));
+        drop(q);
+        self.shared.task_ready.notify_one();
+        true
+    }
+
+    /// Number of tasks waiting in the queue (not yet started).
+    pub fn backlog(&self) -> usize {
+        self.shared.queue.lock().expect("pool queue poisoned").tasks.len()
+    }
+
+    /// Graceful shutdown: stop intake, run every queued task, join workers.
+    pub fn join(self) {
+        self.finish(true);
+    }
+
+    /// Abort: stop intake, drop queued tasks, join workers once their
+    /// current task (if any) completes. Returns the number of dropped tasks.
+    pub fn abort(self) -> usize {
+        self.finish(false)
+    }
+
+    fn finish(mut self, run_backlog: bool) -> usize {
+        let dropped = {
+            let mut q = self.shared.queue.lock().expect("pool queue poisoned");
+            q.shutdown = true;
+            q.run_backlog = run_backlog;
+            if run_backlog { 0 } else { std::mem::take(&mut q.tasks).len() }
+        };
+        self.shared.task_ready.notify_all();
+        self.shared.slot_free.notify_all();
+        for w in self.workers.drain(..) {
+            w.join().expect("pool worker panicked");
+        }
+        dropped
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,5 +306,93 @@ mod tests {
         assert!(par_map(&empty, |_, x| *x).is_empty());
         assert_eq!(par_map(&[42u32], |_, x| *x), vec![42]);
         assert_eq!(par_map_range(3, |i| i * i), vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn sequential_scope_disables_fanout() {
+        assert!(!in_worker());
+        let inside = sequential(|| {
+            assert!(in_worker());
+            // Nested par_map must run inline (order-preserving is trivially
+            // true either way; in_worker() proves the sequential path).
+            par_map(&[1u32, 2, 3], |_, &x| {
+                assert!(in_worker());
+                x * 2
+            })
+        });
+        assert_eq!(inside, vec![2, 4, 6]);
+        assert!(!in_worker(), "sequential() must restore the flag");
+    }
+
+    #[test]
+    fn pool_runs_all_tasks_and_drains_on_join() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let pool = Pool::new(3, 4);
+        for _ in 0..50 {
+            let c = Arc::clone(&counter);
+            assert!(pool.submit(move || {
+                assert!(in_worker(), "pool tasks run with the worker flag set");
+                c.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        pool.join();
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn pool_abort_drops_backlog_but_finishes_inflight() {
+        let started = Arc::new(AtomicUsize::new(0));
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let pool = Pool::new(1, 64);
+        // First task blocks the lone worker until the gate opens.
+        {
+            let started = Arc::clone(&started);
+            let gate = Arc::clone(&gate);
+            pool.submit(move || {
+                started.fetch_add(1, Ordering::Relaxed);
+                let (lock, cv) = &*gate;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            });
+        }
+        // Queue a backlog that abort() must drop.
+        for _ in 0..10 {
+            let started = Arc::clone(&started);
+            pool.submit(move || {
+                started.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        // Wait for the worker to pick up the blocking task.
+        while started.load(Ordering::Relaxed) == 0 {
+            std::thread::yield_now();
+        }
+        // Abort from a helper thread (it blocks joining the gated worker);
+        // only open the gate once the shutdown flag is set, so the worker
+        // cannot steal backlog tasks in the window before the abort.
+        let shared = Arc::clone(&pool.shared);
+        let aborter = std::thread::spawn(move || pool.abort());
+        while !shared.queue.lock().unwrap().shutdown {
+            std::thread::yield_now();
+        }
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        let dropped = aborter.join().unwrap();
+        assert_eq!(started.load(Ordering::Relaxed), 1, "backlog must not run after abort");
+        assert_eq!(dropped, 10);
+    }
+
+    #[test]
+    fn pool_submit_after_shutdown_is_rejected() {
+        let pool = Pool::new(2, 2);
+        let shared = Arc::clone(&pool.shared);
+        pool.join();
+        // A fresh handle to the shared state simulates a racing submitter.
+        let mut q = shared.queue.lock().unwrap();
+        assert!(q.shutdown);
+        assert!(q.tasks.is_empty());
+        q.tasks.clear();
     }
 }

@@ -1,0 +1,473 @@
+//! The `papd` wire protocol: newline-delimited JSON frames over TCP.
+//!
+//! Every frame is one line: a JSON object terminated by `'\n'`, at most
+//! [`MAX_FRAME_BYTES`] long. Requests are [`RequestEnvelope`]s, replies
+//! [`ReplyEnvelope`]s; the server answers frames of one connection in
+//! arrival order, so clients may pipeline any number of requests before
+//! reading replies and match them up by `id` (the server echoes it
+//! verbatim).
+//!
+//! Versioning: both envelopes carry `v` ([`PROTO_VERSION`]). The server
+//! rejects other versions with a [`ErrorCode::VersionMismatch`] error reply
+//! instead of guessing at field semantics. Unknown *extra* fields in
+//! requests are ignored (forward compatibility); unknown request variants
+//! and missing fields are [`ErrorCode::BadRequest`]. A frame that is not
+//! valid JSON at all — including a truncated one — is
+//! [`ErrorCode::BadFrame`]. None of these conditions terminates the
+//! connection or the worker: the server replies and keeps reading.
+
+use serde::{Deserialize, Serialize};
+
+use pap_collectives::CollectiveKind;
+
+/// Current protocol version carried in every envelope.
+pub const PROTO_VERSION: u32 = 1;
+
+/// Hard upper bound on one frame (request or reply line), in bytes.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// One request frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestEnvelope {
+    /// Protocol version ([`PROTO_VERSION`]).
+    pub v: u32,
+    /// Client-chosen correlation ID, echoed in the reply.
+    pub id: u64,
+    /// The request body.
+    pub req: Request,
+}
+
+/// The request body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Ask which algorithm to use for a collective invocation.
+    Query(QueryRequest),
+    /// Fetch the server's observability counters.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Ask the server to shut down gracefully (drain in-flight work).
+    Shutdown,
+}
+
+/// An algorithm-selection query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryRequest {
+    /// Machine preset name (`simcluster`, `hydra`, `galileo100`,
+    /// `discoverer`; case-insensitive, aliases accepted).
+    pub machine: String,
+    /// Collective kind (e.g. `"Alltoall"`; the serialized
+    /// [`CollectiveKind`]).
+    pub collective: CollectiveKind,
+    /// Message size in bytes (collective byte convention).
+    pub bytes: u64,
+    /// Number of MPI ranks.
+    pub ranks: usize,
+    /// Optional per-rank arrival samples, one entry per rank: delays or raw
+    /// arrival timestamps in seconds (absolute offset and scale are
+    /// irrelevant — only the imbalance profile is classified). `null` means
+    /// "arrival pattern unknown": the server answers with its default
+    /// policy.
+    pub arrivals: Option<Vec<f64>>,
+}
+
+/// One reply frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplyEnvelope {
+    /// Protocol version ([`PROTO_VERSION`]).
+    pub v: u32,
+    /// The `id` of the request this answers (0 when the request was too
+    /// malformed to carry one).
+    pub id: u64,
+    /// The reply body.
+    pub reply: Reply,
+}
+
+/// The reply body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Reply {
+    /// Answer to a [`Request::Query`].
+    Answer(QueryAnswer),
+    /// Answer to a [`Request::Stats`].
+    Stats(StatsReport),
+    /// Answer to a [`Request::Ping`].
+    Pong,
+    /// Acknowledgement of a [`Request::Shutdown`]; the server drains and
+    /// exits after sending it.
+    Bye,
+    /// The request could not be served.
+    Error(ErrorReply),
+}
+
+/// Which tier of the store resolved a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Tier {
+    /// In-memory LRU of fully resolved answers.
+    L1,
+    /// Precomputed tuning evidence, exact (machine, collective, ranks,
+    /// bytes) match.
+    L2,
+    /// Precomputed tuning evidence, nearest message size in log-space (no
+    /// exact entry existed).
+    L2Near,
+    /// No precomputed evidence: the answer was computed on demand from the
+    /// analytical model backend (and sim refinement may have been
+    /// scheduled).
+    Computed,
+}
+
+impl Tier {
+    /// Stable lower-case label (used in stats and logs).
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::L1 => "l1",
+            Tier::L2 => "l2",
+            Tier::L2Near => "l2_near",
+            Tier::Computed => "computed",
+        }
+    }
+}
+
+/// The answer to a selection query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryAnswer {
+    /// Canonical machine name the decision is for.
+    pub machine: String,
+    /// Collective kind.
+    pub collective: CollectiveKind,
+    /// Rank count.
+    pub ranks: usize,
+    /// Requested message size (bytes).
+    pub bytes: u64,
+    /// The selected algorithm ID (Table II numbering).
+    pub alg: u8,
+    /// Human-readable policy that produced the choice (e.g. `"robust"` or
+    /// `"best_under:last_delayed"`).
+    pub policy: String,
+    /// The arrival pattern the query was classified to (`"no_delay"` when
+    /// no samples were given and the default policy ignores patterns).
+    pub pattern: String,
+    /// Cosine similarity of the classification in `[-1, 1]` (1.0 when no
+    /// samples were given).
+    pub similarity: f64,
+    /// Which tier resolved the answer.
+    pub tier: Tier,
+    /// Whether the evidence matched the requested message size exactly
+    /// (false for [`Tier::L2Near`]).
+    pub exact: bool,
+    /// Message size of the evidence cell actually used.
+    pub evidence_bytes: u64,
+    /// Backend that produced the evidence (`"model"` or `"sim"`).
+    pub backend: String,
+    /// Evidence generation; bumped when an L3 sim refinement upgrades the
+    /// cell.
+    pub generation: u64,
+    /// Whether this query scheduled a background sim refinement.
+    pub refine_scheduled: bool,
+}
+
+/// Machine-readable error reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorReply {
+    /// Error class.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// Error classes of [`ErrorReply`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// The frame was not a JSON object with `v` and `id` (includes
+    /// truncated JSON and oversized frames).
+    BadFrame,
+    /// The envelope's `v` differs from the server's [`PROTO_VERSION`].
+    VersionMismatch,
+    /// The envelope parsed but the request body did not (unknown variant,
+    /// missing field, bad enum value) or failed validation.
+    BadRequest,
+    /// The server failed internally while answering.
+    Internal,
+}
+
+/// Serialize a frame: one compact JSON line terminated by `'\n'`.
+pub fn encode_frame<T: Serialize>(value: &T) -> String {
+    let mut line = serde_json::to_string(value).expect("wire types are serializable");
+    line.push('\n');
+    line
+}
+
+/// Envelope prefix used to salvage `v`/`id` from requests whose body does
+/// not parse (so the error reply can still carry the right correlation ID).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct RawEnvelope {
+    v: u32,
+    id: u64,
+}
+
+/// Decode failure: the error reply the server should send instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeError {
+    /// Correlation ID to echo (0 if unknown).
+    pub id: u64,
+    /// Error class.
+    pub code: ErrorCode,
+    /// Detail message.
+    pub message: String,
+}
+
+/// Decode one request line (without the trailing newline).
+///
+/// Stage 1 parses only `{v, id}`: failure is [`ErrorCode::BadFrame`] with
+/// `id = 0`. Stage 2 checks the version ([`ErrorCode::VersionMismatch`]),
+/// then parses the full envelope ([`ErrorCode::BadRequest`] on failure) —
+/// both with the salvaged `id`.
+pub fn decode_request(line: &str) -> Result<RequestEnvelope, DecodeError> {
+    let raw: RawEnvelope = serde_json::from_str(line).map_err(|e| DecodeError {
+        id: 0,
+        code: ErrorCode::BadFrame,
+        message: format!("malformed frame: {e}"),
+    })?;
+    if raw.v != PROTO_VERSION {
+        return Err(DecodeError {
+            id: raw.id,
+            code: ErrorCode::VersionMismatch,
+            message: format!("protocol version {} not supported (server speaks {PROTO_VERSION})", raw.v),
+        });
+    }
+    serde_json::from_str(line).map_err(|e| DecodeError {
+        id: raw.id,
+        code: ErrorCode::BadRequest,
+        message: format!("bad request body: {e}"),
+    })
+}
+
+/// Decode one reply line (client side).
+pub fn decode_reply(line: &str) -> Result<ReplyEnvelope, String> {
+    let env: ReplyEnvelope =
+        serde_json::from_str(line).map_err(|e| format!("malformed reply frame: {e}"))?;
+    if env.v != PROTO_VERSION {
+        return Err(format!("server speaks protocol version {}, client speaks {PROTO_VERSION}", env.v));
+    }
+    Ok(env)
+}
+
+/// Convenience constructor for an error reply envelope.
+pub fn error_reply(id: u64, code: ErrorCode, message: impl Into<String>) -> ReplyEnvelope {
+    ReplyEnvelope {
+        v: PROTO_VERSION,
+        id,
+        reply: Reply::Error(ErrorReply { code, message: message.into() }),
+    }
+}
+
+/// Latency histogram bucket of a [`StatsReport`] (cumulative-style upper
+/// bounds, fixed at server start).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyBucket {
+    /// Inclusive upper bound of the bucket in microseconds;
+    /// `u64::MAX` marks the overflow bucket.
+    pub le_us: u64,
+    /// Number of requests whose handling latency fell in this bucket.
+    pub count: u64,
+}
+
+/// Per-endpoint request counters.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EndpointCounters {
+    /// `Query` requests served (including error replies to them).
+    pub query: u64,
+    /// `Stats` requests served.
+    pub stats: u64,
+    /// `Ping` requests served.
+    pub ping: u64,
+    /// `Shutdown` requests served.
+    pub shutdown: u64,
+    /// Error replies sent (any endpoint, including undecodable frames).
+    pub error: u64,
+}
+
+/// Per-tier cache counters.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TierCounters {
+    /// Queries answered from the L1 LRU.
+    pub l1_hits: u64,
+    /// Queries answered from an exact L2 cell.
+    pub l2_exact: u64,
+    /// Queries answered from the nearest-size L2 cell.
+    pub l2_near: u64,
+    /// Queries with no usable precomputed evidence (computed on demand).
+    pub miss: u64,
+    /// Background sim refinements scheduled.
+    pub refines_scheduled: u64,
+    /// Refinements that completed and upgraded a cell.
+    pub refines_applied: u64,
+    /// Refinements dropped (shutdown, stale generation, or failure).
+    pub refines_dropped: u64,
+}
+
+/// The server's observability snapshot (`Stats` endpoint).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsReport {
+    /// Per-endpoint request counters.
+    pub endpoints: EndpointCounters,
+    /// Per-tier cache counters.
+    pub tiers: TierCounters,
+    /// Connections accepted since start.
+    pub connections: u64,
+    /// Request frames read since start.
+    pub frames: u64,
+    /// Number of L2 evidence cells currently held.
+    pub l2_cells: usize,
+    /// Number of resolved answers currently in the L1 LRU.
+    pub l1_entries: usize,
+    /// Whether the L2 store was loaded from a snapshot file.
+    pub snapshot_loaded: bool,
+    /// Whether the server ran a tuning sweep at startup.
+    pub tuned_at_startup: bool,
+    /// Server uptime in seconds.
+    pub uptime_s: f64,
+    /// Fixed-bucket request-handling latency histogram.
+    pub latency: Vec<LatencyBucket>,
+}
+
+impl StatsReport {
+    /// Render the report as the aligned text table `papctl query --stats`
+    /// and the CI smoke job print.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "papd stats (uptime {:.1}s, {} connections, {} frames)\n",
+            self.uptime_s, self.connections, self.frames
+        ));
+        out.push_str(&format!(
+            "endpoints:  query {:>8}  stats {:>6}  ping {:>6}  shutdown {:>3}  errors {:>6}\n",
+            self.endpoints.query,
+            self.endpoints.stats,
+            self.endpoints.ping,
+            self.endpoints.shutdown,
+            self.endpoints.error
+        ));
+        out.push_str(&format!(
+            "tiers:      l1 {:>8}  l2 {:>8}  l2_near {:>6}  miss {:>6}\n",
+            self.tiers.l1_hits, self.tiers.l2_exact, self.tiers.l2_near, self.tiers.miss
+        ));
+        out.push_str(&format!(
+            "refine:     scheduled {:>4}  applied {:>4}  dropped {:>4}\n",
+            self.tiers.refines_scheduled, self.tiers.refines_applied, self.tiers.refines_dropped
+        ));
+        out.push_str(&format!(
+            "store:      l2 cells {:>5}  l1 entries {:>5}  snapshot_loaded {}  tuned_at_startup {}\n",
+            self.l2_cells, self.l1_entries, self.snapshot_loaded, self.tuned_at_startup
+        ));
+        out.push_str("latency:    ");
+        let total: u64 = self.latency.iter().map(|b| b.count).sum();
+        if total == 0 {
+            out.push_str("(no requests)\n");
+        } else {
+            let mut parts = Vec::new();
+            for b in &self.latency {
+                if b.count == 0 {
+                    continue;
+                }
+                let label = if b.le_us == u64::MAX {
+                    "inf".to_string()
+                } else {
+                    format!("{}us", b.le_us)
+                };
+                parts.push(format!("<={label}: {}", b.count));
+            }
+            out.push_str(&parts.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_frames_round_trip() {
+        let env = RequestEnvelope {
+            v: PROTO_VERSION,
+            id: 42,
+            req: Request::Query(QueryRequest {
+                machine: "simcluster".into(),
+                collective: CollectiveKind::Alltoall,
+                bytes: 32768,
+                ranks: 16,
+                arrivals: Some(vec![0.0, 1e-4, 2e-4]),
+            }),
+        };
+        let line = encode_frame(&env);
+        assert!(line.ends_with('\n'));
+        let back = decode_request(line.trim_end()).unwrap();
+        assert_eq!(back, env);
+        // Unit-variant requests too.
+        for req in [Request::Stats, Request::Ping, Request::Shutdown] {
+            let env = RequestEnvelope { v: PROTO_VERSION, id: 7, req: req.clone() };
+            assert_eq!(decode_request(encode_frame(&env).trim_end()).unwrap().req, req);
+        }
+    }
+
+    #[test]
+    fn bad_frames_classify_correctly() {
+        // Not JSON at all → BadFrame, id unknown.
+        let e = decode_request("not json").unwrap_err();
+        assert_eq!((e.id, e.code), (0, ErrorCode::BadFrame));
+        // Truncated JSON → BadFrame.
+        let e = decode_request("{\"v\":1,\"id\":3,\"req\":{\"Qu").unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadFrame);
+        // Version mismatch detected before body parsing, id salvaged.
+        let e = decode_request("{\"v\":99,\"id\":5,\"req\":\"Nonsense\"}").unwrap_err();
+        assert_eq!((e.id, e.code), (5, ErrorCode::VersionMismatch));
+        // Unknown request variant → BadRequest with salvaged id.
+        let e = decode_request("{\"v\":1,\"id\":6,\"req\":\"Nonsense\"}").unwrap_err();
+        assert_eq!((e.id, e.code), (6, ErrorCode::BadRequest));
+        // Bad enum value inside the body → BadRequest.
+        let e = decode_request(
+            "{\"v\":1,\"id\":8,\"req\":{\"Query\":{\"machine\":\"simcluster\",\
+             \"collective\":\"Quicksort\",\"bytes\":8,\"ranks\":4,\"arrivals\":null}}}",
+        )
+        .unwrap_err();
+        assert_eq!((e.id, e.code), (8, ErrorCode::BadRequest));
+    }
+
+    #[test]
+    fn extra_fields_are_forward_compatible() {
+        // A newer client may add fields; the server must ignore them.
+        let line = "{\"v\":1,\"id\":9,\"future\":true,\"req\":\"Ping\"}";
+        assert_eq!(decode_request(line).unwrap().req, Request::Ping);
+    }
+
+    #[test]
+    fn reply_frames_round_trip() {
+        let env = error_reply(3, ErrorCode::BadRequest, "nope");
+        let back = decode_reply(encode_frame(&env).trim_end()).unwrap();
+        assert_eq!(back, env);
+        assert!(decode_reply("{\"v\":2,\"id\":0,\"reply\":\"Pong\"}").is_err());
+    }
+
+    #[test]
+    fn stats_table_renders() {
+        let mut report = StatsReport {
+            endpoints: EndpointCounters { query: 10, ..Default::default() },
+            tiers: TierCounters { l1_hits: 7, l2_exact: 3, ..Default::default() },
+            connections: 2,
+            frames: 12,
+            l2_cells: 9,
+            l1_entries: 3,
+            snapshot_loaded: true,
+            tuned_at_startup: false,
+            uptime_s: 1.5,
+            latency: vec![LatencyBucket { le_us: 100, count: 10 }, LatencyBucket { le_us: u64::MAX, count: 0 }],
+        };
+        let t = report.render_table();
+        assert!(t.contains("l1        7"));
+        assert!(t.contains("<=100us: 10"));
+        report.latency.clear();
+        assert!(report.render_table().contains("(no requests)"));
+    }
+}

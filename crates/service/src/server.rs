@@ -1,0 +1,350 @@
+//! `papd`: the selection daemon.
+//!
+//! A std-only TCP server: newline-delimited JSON frames
+//! ([`crate::proto`]), thread-per-connection on a bounded
+//! [`pap_parallel::Pool`], a second bounded pool for background sim
+//! refinements, and graceful shutdown that drains in-flight work.
+//!
+//! Connection workers run with `pap-parallel`'s worker marker set, so any
+//! nested `par_map` fan-out inside an inline cold-cell sweep stays
+//! sequential — total parallelism is bounded by the two pool sizes no
+//! matter how many clients pile on.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pap_core::{tune_machine, TunePlan};
+use pap_microbench::{Backend, BenchConfig};
+use pap_parallel::Pool;
+use pap_sim::{MachineId, Platform};
+
+use crate::proto::{
+    decode_request, encode_frame, error_reply, ErrorCode, Reply, ReplyEnvelope, Request,
+    MAX_FRAME_BYTES, PROTO_VERSION,
+};
+use crate::snapshot::Snapshot;
+use crate::stats::Stats;
+use crate::store::{DefaultPolicy, TierStore};
+
+/// How to start the daemon.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address; `"127.0.0.1:0"` picks an ephemeral loopback port.
+    pub addr: String,
+    /// Warm-restart snapshot to load into L2. When set, no startup tuning
+    /// sweep runs.
+    pub snapshot: Option<PathBuf>,
+    /// Machine preset to pre-tune at startup (ignored with a snapshot).
+    pub machine: String,
+    /// Rank count to pre-tune at startup.
+    pub ranks: usize,
+    /// Backend for startup tuning and inline cold-cell computation.
+    pub backend: Backend,
+    /// Connection pool workers (`0` = auto: at least 4).
+    pub threads: usize,
+    /// Background refinement workers (`0` disables L3 refinement).
+    pub refine_threads: usize,
+    /// L1 answer-cache capacity (`0` disables L1).
+    pub l1_capacity: usize,
+    /// Policy for queries without arrival samples.
+    pub default_policy: DefaultPolicy,
+    /// Per-connection idle timeout: a connection with no complete frame for
+    /// this long is closed.
+    pub read_timeout: Duration,
+    /// Whether to run the startup tuning sweep when no snapshot is given.
+    pub tune_at_startup: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            snapshot: None,
+            machine: "simcluster".to_string(),
+            ranks: 16,
+            backend: Backend::Model,
+            threads: 0,
+            refine_threads: 1,
+            l1_capacity: 1024,
+            default_policy: DefaultPolicy::Robust,
+            read_timeout: Duration::from_secs(30),
+            tune_at_startup: true,
+        }
+    }
+}
+
+/// Poll interval for idle connections and shutdown checks.
+const POLL: Duration = Duration::from_millis(100);
+
+/// A running daemon.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: std::thread::JoinHandle<()>,
+    refine_pool: Option<Arc<Pool>>,
+    stats: Arc<Stats>,
+    store: Arc<TierStore>,
+}
+
+impl Server {
+    /// Bind, seed the L2 store (snapshot or startup tuning), and start
+    /// accepting connections.
+    pub fn start(cfg: ServeConfig) -> Result<Server, String> {
+        let stats = Arc::new(Stats::new());
+        let refine_enabled = cfg.refine_threads > 0;
+        let store = Arc::new(TierStore::new(
+            Arc::clone(&stats),
+            cfg.l1_capacity,
+            cfg.default_policy,
+            cfg.backend,
+            refine_enabled,
+        ));
+
+        if let Some(path) = &cfg.snapshot {
+            let snap = Snapshot::load(path)?;
+            store.ingest_snapshot(&snap);
+            stats.snapshot_loaded.store(true, Ordering::Relaxed);
+        } else if cfg.tune_at_startup {
+            let machine_id: MachineId = cfg.machine.parse()?;
+            let platform = Platform::preset(machine_id, cfg.ranks);
+            let bench = BenchConfig::simulation().with_backend(cfg.backend);
+            let (_, records) = tune_machine(&platform, &TunePlan::default(), &bench)?;
+            store.ingest_records(machine_id.name(), &records, &cfg.backend.to_string());
+            stats.tuned_at_startup.store(true, Ordering::Relaxed);
+        }
+
+        let listener =
+            TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
+        let addr = listener.local_addr().map_err(|e| format!("local_addr: {e}"))?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let threads = if cfg.threads == 0 {
+            std::thread::available_parallelism().map_or(4, |n| n.get()).max(4)
+        } else {
+            cfg.threads
+        };
+        let refine_pool =
+            refine_enabled.then(|| Arc::new(Pool::new(cfg.refine_threads, 4 * cfg.refine_threads)));
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let stats = Arc::clone(&stats);
+            let store = Arc::clone(&store);
+            let refine_pool = refine_pool.clone();
+            let read_timeout = cfg.read_timeout;
+            std::thread::spawn(move || {
+                let conn_pool = Pool::new(threads, 2 * threads + 16);
+                for incoming in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let stream = match incoming {
+                        Ok(s) => s,
+                        Err(_) => continue,
+                    };
+                    stats.connection();
+                    let ctx = ConnCtx {
+                        shutdown: Arc::clone(&shutdown),
+                        stats: Arc::clone(&stats),
+                        store: Arc::clone(&store),
+                        refine_pool: refine_pool.clone(),
+                        read_timeout,
+                    };
+                    if !conn_pool.submit(move || handle_connection(stream, ctx)) {
+                        break;
+                    }
+                }
+                // Drain: every live connection observes the shutdown flag
+                // within one poll interval and finishes its buffered frames.
+                conn_pool.join();
+            })
+        };
+
+        Ok(Server { addr, shutdown, acceptor, refine_pool, stats, store })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's stats block.
+    pub fn stats(&self) -> &Arc<Stats> {
+        &self.stats
+    }
+
+    /// The server's tier store.
+    pub fn store(&self) -> &Arc<TierStore> {
+        &self.store
+    }
+
+    /// Whether a shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Request shutdown from outside (equivalent to a `Shutdown` frame).
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the acceptor if it is blocked in accept().
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Block until shutdown is requested (by [`Server::stop`] or a client
+    /// `Shutdown` frame), then drain: the acceptor joins its connection
+    /// pool, and in-flight refinements finish while queued ones are
+    /// dropped.
+    pub fn join(self) {
+        while !self.shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(POLL);
+        }
+        // Nudge the acceptor in case shutdown came from a connection
+        // handler while accept() was blocked.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.acceptor.join();
+        // After the conn pool joined no handler holds a refine-pool clone,
+        // so the unwrap succeeds; if it somehow does not, the workers are
+        // left parked and die with the process.
+        if let Some(pool) = self.refine_pool {
+            if let Ok(pool) = Arc::try_unwrap(pool) {
+                let dropped = pool.abort();
+                for _ in 0..dropped {
+                    self.stats.refine_dropped();
+                }
+            }
+        }
+    }
+}
+
+/// Everything a connection handler needs.
+struct ConnCtx {
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<Stats>,
+    store: Arc<TierStore>,
+    refine_pool: Option<Arc<Pool>>,
+    read_timeout: Duration,
+}
+
+/// Serve one connection until EOF, error, idle timeout, or shutdown.
+fn handle_connection(mut stream: TcpStream, ctx: ConnCtx) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL));
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    let mut last_activity = Instant::now();
+    loop {
+        // Serve every complete frame already buffered.
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=pos).collect();
+            last_activity = Instant::now();
+            ctx.stats.frame();
+            let reply = serve_frame(&line[..line.len() - 1], &ctx);
+            let bye = matches!(reply.reply, Reply::Bye);
+            if stream.write_all(encode_frame(&reply).as_bytes()).is_err() {
+                return;
+            }
+            if bye {
+                return;
+            }
+        }
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if buf.len() > MAX_FRAME_BYTES {
+            // No newline within the frame budget: reply and give up on the
+            // connection (there is no way to find the next frame boundary).
+            let reply = error_reply(
+                0,
+                ErrorCode::BadFrame,
+                format!("frame exceeds {MAX_FRAME_BYTES} bytes"),
+            );
+            ctx.stats.endpoint_error();
+            let _ = stream.write_all(encode_frame(&reply).as_bytes());
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // EOF
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if last_activity.elapsed() > ctx.read_timeout {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Decode and serve one frame; always yields a reply, never panics out.
+fn serve_frame(line: &[u8], ctx: &ConnCtx) -> ReplyEnvelope {
+    let start = Instant::now();
+    let reply = catch_unwind(AssertUnwindSafe(|| serve_frame_inner(line, ctx))).unwrap_or_else(|_| {
+        ctx.stats.endpoint_error();
+        error_reply(0, ErrorCode::Internal, "internal error while serving request")
+    });
+    ctx.stats.record_latency(start.elapsed());
+    reply
+}
+
+fn serve_frame_inner(line: &[u8], ctx: &ConnCtx) -> ReplyEnvelope {
+    let text = match std::str::from_utf8(line) {
+        Ok(t) => t,
+        Err(_) => {
+            ctx.stats.endpoint_error();
+            return error_reply(0, ErrorCode::BadFrame, "frame is not valid UTF-8");
+        }
+    };
+    let env = match decode_request(text.trim_end_matches('\r')) {
+        Ok(env) => env,
+        Err(e) => {
+            ctx.stats.endpoint_error();
+            return error_reply(e.id, e.code, e.message);
+        }
+    };
+    let id = env.id;
+    match env.req {
+        Request::Query(q) => {
+            ctx.stats.endpoint_query();
+            match ctx.store.resolve(&q) {
+                Ok((answer, ticket)) => {
+                    if let Some(key) = ticket {
+                        let submitted = ctx.refine_pool.as_ref().is_some_and(|pool| {
+                            let store = Arc::clone(&ctx.store);
+                            let k = key.clone();
+                            pool.submit(move || store.refine(&k))
+                        });
+                        if !submitted {
+                            ctx.store.cancel_refine(&key);
+                        }
+                    }
+                    ReplyEnvelope { v: PROTO_VERSION, id, reply: Reply::Answer(answer) }
+                }
+                Err(msg) => {
+                    ctx.stats.endpoint_error();
+                    error_reply(id, ErrorCode::BadRequest, msg)
+                }
+            }
+        }
+        Request::Stats => {
+            ctx.stats.endpoint_stats();
+            ReplyEnvelope { v: PROTO_VERSION, id, reply: Reply::Stats(ctx.stats.report()) }
+        }
+        Request::Ping => {
+            ctx.stats.endpoint_ping();
+            ReplyEnvelope { v: PROTO_VERSION, id, reply: Reply::Pong }
+        }
+        Request::Shutdown => {
+            ctx.stats.endpoint_shutdown();
+            ctx.shutdown.store(true, Ordering::SeqCst);
+            ReplyEnvelope { v: PROTO_VERSION, id, reply: Reply::Bye }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Warm-restart snapshots: the tuning-table-with-evidence file format
+//! shared by `papctl tune --out` (writer) and `papd --snapshot` (reader).
+//!
+//! A snapshot retains the full [`BenchMatrix`] per cell, not just the final
+//! decision, so a restarted daemon can re-apply *any* selection policy —
+//! including per-pattern `best_under:<shape>` picks for queries that carry
+//! arrival samples — without re-running the tuning sweep.
+
+use pap_core::{BenchMatrix, TuneRecord, TuningEntry, TuningTable};
+use serde::{Deserialize, Serialize};
+
+/// Current snapshot file format version.
+pub const SNAPSHOT_FORMAT: u32 = 1;
+
+/// One tuned cell: the decision plus the evidence it was made from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotCell {
+    /// The robust-policy decision for this cell.
+    pub entry: TuningEntry,
+    /// What the status-quo (no-delay-fastest) policy would have picked.
+    pub status_quo: u8,
+    /// The benchmark matrix backing the decision.
+    pub matrix: BenchMatrix,
+}
+
+/// A persisted tuning run: everything `papd` needs for an L2 warm start.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// File format version ([`SNAPSHOT_FORMAT`]).
+    pub format: u32,
+    /// Canonical machine name the cells were tuned on.
+    pub machine: String,
+    /// Rank count the cells were tuned at.
+    pub ranks: usize,
+    /// Backend that produced the evidence (`"model"` or `"sim"`).
+    pub backend: String,
+    /// All tuned cells.
+    pub cells: Vec<SnapshotCell>,
+}
+
+impl Snapshot {
+    /// Build a snapshot from a tuning run's per-cell evidence.
+    pub fn from_records(machine: &str, ranks: usize, backend: &str, records: &[TuneRecord]) -> Self {
+        Snapshot {
+            format: SNAPSHOT_FORMAT,
+            machine: machine.to_string(),
+            ranks,
+            backend: backend.to_string(),
+            cells: records
+                .iter()
+                .map(|r| SnapshotCell {
+                    entry: r.entry.clone(),
+                    status_quo: r.status_quo,
+                    matrix: r.matrix.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// The decisions as a plain [`TuningTable`] (what `papctl tune` prints).
+    pub fn table(&self) -> TuningTable {
+        let mut t = TuningTable::new();
+        for cell in &self.cells {
+            t.insert(cell.entry.clone());
+        }
+        t
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshots are serializable")
+    }
+
+    /// Parse and validate a snapshot.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let snap: Snapshot = serde_json::from_str(s).map_err(|e| format!("bad snapshot: {e}"))?;
+        if snap.format != SNAPSHOT_FORMAT {
+            return Err(format!(
+                "snapshot format {} not supported (expected {SNAPSHOT_FORMAT})",
+                snap.format
+            ));
+        }
+        for (i, cell) in snap.cells.iter().enumerate() {
+            if !cell.matrix.algs.contains(&cell.entry.alg) {
+                return Err(format!(
+                    "snapshot cell {i}: decided alg {} absent from its evidence matrix",
+                    cell.entry.alg
+                ));
+            }
+        }
+        Ok(snap)
+    }
+
+    /// Write the snapshot to `path`.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), String> {
+        std::fs::write(path, self.to_json()).map_err(|e| format!("write {}: {e}", path.display()))
+    }
+
+    /// Read and validate a snapshot from `path`.
+    pub fn load(path: &std::path::Path) -> Result<Self, String> {
+        let s = std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        Self::from_json(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pap_core::{tune_machine, TunePlan};
+    use pap_microbench::BenchConfig;
+    use pap_sim::Platform;
+
+    fn tiny_records() -> Vec<TuneRecord> {
+        let platform = Platform::simcluster(8);
+        let plan = TunePlan {
+            kinds: vec![pap_collectives::CollectiveKind::Reduce],
+            sizes: vec![64, 4096],
+            ..TunePlan::default()
+        };
+        tune_machine(&platform, &plan, &BenchConfig::simulation()).unwrap().1
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let records = tiny_records();
+        let snap = Snapshot::from_records("SimCluster", 8, "model", &records);
+        let back = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.cells.len(), 2);
+        assert_eq!(back.table().len(), 2);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let records = tiny_records();
+        let snap = Snapshot::from_records("SimCluster", 8, "model", &records);
+        let dir = std::env::temp_dir().join("pap_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+        snap.save(&path).unwrap();
+        assert_eq!(Snapshot::load(&path).unwrap(), snap);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_wrong_format_and_inconsistent_cells() {
+        let records = tiny_records();
+        let mut snap = Snapshot::from_records("SimCluster", 8, "model", &records);
+        snap.format = 99;
+        assert!(Snapshot::from_json(&snap.to_json()).unwrap_err().contains("format 99"));
+        snap.format = SNAPSHOT_FORMAT;
+        snap.cells[0].entry.alg = 250;
+        assert!(Snapshot::from_json(&snap.to_json()).unwrap_err().contains("absent"));
+        assert!(Snapshot::from_json("{\"truncated\":").is_err());
+    }
+}

@@ -1,0 +1,185 @@
+//! Lock-free observability counters for `papd`.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::proto::{EndpointCounters, LatencyBucket, StatsReport, TierCounters};
+
+/// Upper bounds (µs) of the fixed latency histogram buckets; the implicit
+/// last bucket (`u64::MAX`) catches everything slower.
+pub const LATENCY_BOUNDS_US: [u64; 12] =
+    [1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 5_000, 50_000];
+
+/// Shared counter block; every field is an independent atomic, so request
+/// handlers on different pool workers never contend on a lock to record.
+pub struct Stats {
+    started: Instant,
+    connections: AtomicU64,
+    frames: AtomicU64,
+    query: AtomicU64,
+    stats: AtomicU64,
+    ping: AtomicU64,
+    shutdown: AtomicU64,
+    error: AtomicU64,
+    l1_hits: AtomicU64,
+    l2_exact: AtomicU64,
+    l2_near: AtomicU64,
+    miss: AtomicU64,
+    refines_scheduled: AtomicU64,
+    refines_applied: AtomicU64,
+    refines_dropped: AtomicU64,
+    latency: [AtomicU64; LATENCY_BOUNDS_US.len() + 1],
+    /// Current L1 entry count, maintained by the store.
+    pub l1_entries: AtomicUsize,
+    /// Current L2 cell count, maintained by the store.
+    pub l2_cells: AtomicUsize,
+    /// Whether the L2 store was seeded from a snapshot file.
+    pub snapshot_loaded: std::sync::atomic::AtomicBool,
+    /// Whether a tuning sweep ran at startup.
+    pub tuned_at_startup: std::sync::atomic::AtomicBool,
+}
+
+impl Default for Stats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+macro_rules! bump {
+    ($($fn_name:ident => $field:ident),* $(,)?) => {$(
+        #[doc = concat!("Increment the `", stringify!($field), "` counter.")]
+        pub fn $fn_name(&self) {
+            self.$field.fetch_add(1, Ordering::Relaxed);
+        }
+    )*};
+}
+
+impl Stats {
+    /// Fresh counter block; uptime starts now.
+    pub fn new() -> Self {
+        Stats {
+            started: Instant::now(),
+            connections: AtomicU64::new(0),
+            frames: AtomicU64::new(0),
+            query: AtomicU64::new(0),
+            stats: AtomicU64::new(0),
+            ping: AtomicU64::new(0),
+            shutdown: AtomicU64::new(0),
+            error: AtomicU64::new(0),
+            l1_hits: AtomicU64::new(0),
+            l2_exact: AtomicU64::new(0),
+            l2_near: AtomicU64::new(0),
+            miss: AtomicU64::new(0),
+            refines_scheduled: AtomicU64::new(0),
+            refines_applied: AtomicU64::new(0),
+            refines_dropped: AtomicU64::new(0),
+            latency: std::array::from_fn(|_| AtomicU64::new(0)),
+            l1_entries: AtomicUsize::new(0),
+            l2_cells: AtomicUsize::new(0),
+            snapshot_loaded: std::sync::atomic::AtomicBool::new(false),
+            tuned_at_startup: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    bump! {
+        connection => connections,
+        frame => frames,
+        endpoint_query => query,
+        endpoint_stats => stats,
+        endpoint_ping => ping,
+        endpoint_shutdown => shutdown,
+        endpoint_error => error,
+        l1_hit => l1_hits,
+        l2_exact_hit => l2_exact,
+        l2_near_hit => l2_near,
+        tier_miss => miss,
+        refine_scheduled => refines_scheduled,
+        refine_applied => refines_applied,
+        refine_dropped => refines_dropped,
+    }
+
+    /// Record one request's handling latency in the fixed-bucket histogram.
+    pub fn record_latency(&self, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        let idx = LATENCY_BOUNDS_US.iter().position(|&b| us <= b).unwrap_or(LATENCY_BOUNDS_US.len());
+        self.latency[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot every counter into a wire-serializable report.
+    pub fn report(&self) -> StatsReport {
+        let mut latency: Vec<LatencyBucket> = LATENCY_BOUNDS_US
+            .iter()
+            .enumerate()
+            .map(|(i, &le_us)| LatencyBucket { le_us, count: self.latency[i].load(Ordering::Relaxed) })
+            .collect();
+        latency.push(LatencyBucket {
+            le_us: u64::MAX,
+            count: self.latency[LATENCY_BOUNDS_US.len()].load(Ordering::Relaxed),
+        });
+        StatsReport {
+            endpoints: EndpointCounters {
+                query: self.query.load(Ordering::Relaxed),
+                stats: self.stats.load(Ordering::Relaxed),
+                ping: self.ping.load(Ordering::Relaxed),
+                shutdown: self.shutdown.load(Ordering::Relaxed),
+                error: self.error.load(Ordering::Relaxed),
+            },
+            tiers: TierCounters {
+                l1_hits: self.l1_hits.load(Ordering::Relaxed),
+                l2_exact: self.l2_exact.load(Ordering::Relaxed),
+                l2_near: self.l2_near.load(Ordering::Relaxed),
+                miss: self.miss.load(Ordering::Relaxed),
+                refines_scheduled: self.refines_scheduled.load(Ordering::Relaxed),
+                refines_applied: self.refines_applied.load(Ordering::Relaxed),
+                refines_dropped: self.refines_dropped.load(Ordering::Relaxed),
+            },
+            connections: self.connections.load(Ordering::Relaxed),
+            frames: self.frames.load(Ordering::Relaxed),
+            l2_cells: self.l2_cells.load(Ordering::Relaxed),
+            l1_entries: self.l1_entries.load(Ordering::Relaxed),
+            snapshot_loaded: self.snapshot_loaded.load(Ordering::Relaxed),
+            tuned_at_startup: self.tuned_at_startup.load(Ordering::Relaxed),
+            uptime_s: self.started.elapsed().as_secs_f64(),
+            latency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_land_in_the_report() {
+        let s = Stats::new();
+        s.connection();
+        s.frame();
+        s.frame();
+        s.endpoint_query();
+        s.l1_hit();
+        s.refine_scheduled();
+        let r = s.report();
+        assert_eq!(r.connections, 1);
+        assert_eq!(r.frames, 2);
+        assert_eq!(r.endpoints.query, 1);
+        assert_eq!(r.tiers.l1_hits, 1);
+        assert_eq!(r.tiers.refines_scheduled, 1);
+        assert!(r.uptime_s >= 0.0);
+    }
+
+    #[test]
+    fn latency_histogram_buckets_by_bound() {
+        let s = Stats::new();
+        s.record_latency(Duration::from_micros(0)); // <= 1
+        s.record_latency(Duration::from_micros(1)); // <= 1
+        s.record_latency(Duration::from_micros(7)); // <= 10
+        s.record_latency(Duration::from_secs(10)); // overflow
+        let r = s.report();
+        assert_eq!(r.latency.len(), LATENCY_BOUNDS_US.len() + 1);
+        assert_eq!(r.latency[0].count, 2);
+        let le10 = r.latency.iter().find(|b| b.le_us == 10).unwrap();
+        assert_eq!(le10.count, 1);
+        assert_eq!(r.latency.last().unwrap().le_us, u64::MAX);
+        assert_eq!(r.latency.last().unwrap().count, 1);
+    }
+}

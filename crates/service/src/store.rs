@@ -1,0 +1,611 @@
+//! The tiered evidence store behind `papd`.
+//!
+//! * **L1** — an LRU of fully resolved `(cell, policy) → algorithm`
+//!   answers. Entries carry the generation of the evidence cell they were
+//!   derived from and are discarded when a background refinement bumps it.
+//! * **L2** — precomputed `(machine, collective, ranks, bytes)` evidence
+//!   cells (full [`BenchMatrix`]es), seeded from a startup tuning sweep or a
+//!   warm-restart snapshot. Misses on exact message size fall back to the
+//!   nearest cell in log-space, mirroring [`pap_core::TuningTable::lookup`].
+//! * **L3** — on-demand refinement: a cold cell is computed inline with the
+//!   cheap analytical backend (the query is answered immediately) and, when
+//!   enabled, a background worker re-measures it with the event-driven
+//!   simulator and *upgrades* the cell. Upgrades bump the cell generation,
+//!   which invalidates derived L1 entries; a refinement that observes a
+//!   generation change while it ran is dropped, never applied stale.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, RwLock};
+
+use pap_arrival::{classify_delays, Shape};
+use pap_collectives::registry::experiment_ids;
+use pap_collectives::CollectiveKind;
+use pap_core::{select, BenchMatrix, SelectionPolicy, TuneRecord};
+use pap_microbench::{sweep, Backend, BenchConfig, SkewPolicy};
+use pap_sim::{MachineId, Platform};
+
+use crate::cache::Lru;
+use crate::proto::{QueryAnswer, QueryRequest, Tier};
+use crate::snapshot::Snapshot;
+use crate::stats::Stats;
+
+/// Identity of one L2 evidence cell.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CellKey {
+    /// Canonical machine name.
+    pub machine: String,
+    /// Collective kind.
+    pub kind: CollectiveKind,
+    /// Rank count.
+    pub ranks: usize,
+    /// Message size (bytes).
+    pub bytes: u64,
+}
+
+/// One L2 evidence cell.
+#[derive(Debug, Clone)]
+pub struct CellEvidence {
+    /// The benchmark matrix (algorithms × arrival patterns).
+    pub matrix: BenchMatrix,
+    /// The status-quo (no-delay-fastest) pick, kept for reporting.
+    pub status_quo: u8,
+    /// Backend that produced the matrix (`"model"` or `"sim"`).
+    pub backend: String,
+    /// Bumped on every refinement upgrade; L1 entries derived from an older
+    /// generation are stale.
+    pub generation: u64,
+}
+
+/// L1 key: the evidence cell plus the policy applied to it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct L1Key {
+    cell: CellKey,
+    policy: String,
+}
+
+/// L1 value: a resolved answer and the evidence it came from.
+#[derive(Debug, Clone)]
+struct L1Entry {
+    alg: u8,
+    exact: bool,
+    evidence: CellKey,
+    backend: String,
+    generation: u64,
+}
+
+/// How `papd` selects when a query carries no arrival samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefaultPolicy {
+    /// The paper's robust-average policy (the daemon's default).
+    Robust,
+    /// The status quo: fastest under `no_delay`.
+    NoDelayFastest,
+}
+
+impl std::str::FromStr for DefaultPolicy {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "robust" => Ok(DefaultPolicy::Robust),
+            "no_delay" | "no_delay_fastest" | "status_quo" => Ok(DefaultPolicy::NoDelayFastest),
+            other => Err(format!("unknown policy '{other}' (expected robust|no_delay_fastest)")),
+        }
+    }
+}
+
+/// The tiered store. Shared (via `Arc`) between connection handlers and
+/// background refinement workers.
+pub struct TierStore {
+    l2: RwLock<HashMap<CellKey, CellEvidence>>,
+    l1: Mutex<Lru<L1Key, L1Entry>>,
+    refining: Mutex<HashSet<CellKey>>,
+    stats: Arc<Stats>,
+    default_policy: DefaultPolicy,
+    /// Backend for inline cold-cell computation.
+    compute_backend: Backend,
+    /// Whether background sim refinement is enabled.
+    refine_enabled: bool,
+    shapes: Vec<Shape>,
+    skew: SkewPolicy,
+}
+
+impl TierStore {
+    /// Create an empty store.
+    pub fn new(
+        stats: Arc<Stats>,
+        l1_capacity: usize,
+        default_policy: DefaultPolicy,
+        compute_backend: Backend,
+        refine_enabled: bool,
+    ) -> Self {
+        TierStore {
+            l2: RwLock::new(HashMap::new()),
+            l1: Mutex::new(Lru::new(l1_capacity)),
+            refining: Mutex::new(HashSet::new()),
+            stats,
+            default_policy,
+            compute_backend,
+            refine_enabled,
+            shapes: Shape::SUITE.to_vec(),
+            skew: SkewPolicy::FactorOfAvg(1.0),
+        }
+    }
+
+    /// The stats block this store reports into.
+    pub fn stats(&self) -> &Arc<Stats> {
+        &self.stats
+    }
+
+    /// Seed L2 from a tuning run's records.
+    pub fn ingest_records(&self, machine: &str, records: &[TuneRecord], backend: &str) {
+        let mut l2 = self.l2.write().expect("l2 lock");
+        for rec in records {
+            let key = CellKey {
+                machine: machine.to_string(),
+                kind: rec.entry.kind,
+                ranks: rec.entry.ranks,
+                bytes: rec.entry.bytes,
+            };
+            l2.insert(
+                key,
+                CellEvidence {
+                    matrix: rec.matrix.clone(),
+                    status_quo: rec.status_quo,
+                    backend: backend.to_string(),
+                    generation: 0,
+                },
+            );
+        }
+        self.stats.l2_cells.store(l2.len(), Ordering::Relaxed);
+    }
+
+    /// Seed L2 from a warm-restart snapshot.
+    pub fn ingest_snapshot(&self, snap: &Snapshot) {
+        let mut l2 = self.l2.write().expect("l2 lock");
+        for cell in &snap.cells {
+            let key = CellKey {
+                machine: snap.machine.clone(),
+                kind: cell.entry.kind,
+                ranks: cell.entry.ranks,
+                bytes: cell.entry.bytes,
+            };
+            l2.insert(
+                key,
+                CellEvidence {
+                    matrix: cell.matrix.clone(),
+                    status_quo: cell.status_quo,
+                    backend: snap.backend.clone(),
+                    generation: 0,
+                },
+            );
+        }
+        self.stats.l2_cells.store(l2.len(), Ordering::Relaxed);
+    }
+
+    /// Number of L2 cells currently held.
+    pub fn l2_len(&self) -> usize {
+        self.l2.read().expect("l2 lock").len()
+    }
+
+    /// Resolve one query through the tiers.
+    ///
+    /// Returns the answer plus, when a background sim refinement should be
+    /// scheduled for the evidence cell, that cell's key (the caller owns the
+    /// worker pool). Errors are client errors (`BadRequest`).
+    pub fn resolve(&self, q: &QueryRequest) -> Result<(QueryAnswer, Option<CellKey>), String> {
+        let machine_id: MachineId = q.machine.parse()?;
+        let machine = machine_id.name().to_string();
+        if q.ranks < 2 {
+            return Err(format!("need at least 2 ranks, got {}", q.ranks));
+        }
+        let capacity = {
+            let probe = Platform::preset(machine_id, 1);
+            probe.nodes * probe.cores_per_node
+        };
+        if q.ranks > capacity {
+            return Err(format!("{} ranks exceed capacity {capacity} of {machine}", q.ranks));
+        }
+
+        // Classify the arrival samples (if any) into a pattern and policy.
+        let (policy, pattern, similarity) = match &q.arrivals {
+            None => {
+                let policy = match self.default_policy {
+                    DefaultPolicy::Robust => SelectionPolicy::robust(),
+                    DefaultPolicy::NoDelayFastest => SelectionPolicy::NoDelayFastest,
+                };
+                (policy, Shape::NoDelay.name().to_string(), 1.0)
+            }
+            Some(samples) => {
+                if samples.len() != q.ranks {
+                    return Err(format!(
+                        "arrivals has {} samples but query names {} ranks",
+                        samples.len(),
+                        q.ranks
+                    ));
+                }
+                if samples.iter().any(|s| !s.is_finite()) {
+                    return Err("arrivals contain non-finite values".to_string());
+                }
+                let (shape, sim) = classify_delays(samples);
+                let name = shape.name().to_string();
+                let policy = if shape == Shape::NoDelay {
+                    // Synchronized arrivals are exactly the status quo's
+                    // assumption; answer with the no-delay winner.
+                    SelectionPolicy::NoDelayFastest
+                } else {
+                    SelectionPolicy::BestUnderPattern(name.clone())
+                };
+                (policy, name, sim)
+            }
+        };
+        let policy_label = policy_label(&policy);
+        let key = CellKey { machine: machine.clone(), kind: q.collective, ranks: q.ranks, bytes: q.bytes };
+
+        let answer = |alg: u8, tier: Tier, exact: bool, evidence: &CellKey, backend: &str, generation: u64, refine: bool| QueryAnswer {
+            machine: machine.clone(),
+            collective: q.collective,
+            ranks: q.ranks,
+            bytes: q.bytes,
+            alg,
+            policy: policy_label.clone(),
+            pattern: pattern.clone(),
+            similarity,
+            tier,
+            exact,
+            evidence_bytes: evidence.bytes,
+            backend: backend.to_string(),
+            generation,
+            refine_scheduled: refine,
+        };
+
+        // L1: a resolved answer for this (cell, policy), still-current
+        // generation.
+        let l1_key = L1Key { cell: key.clone(), policy: policy_label.clone() };
+        if let Some(hit) = self.l1_lookup(&l1_key) {
+            self.stats.l1_hit();
+            return Ok((
+                answer(hit.alg, Tier::L1, hit.exact, &hit.evidence, &hit.backend, hit.generation, false),
+                None,
+            ));
+        }
+
+        // L2: precomputed evidence, exact then nearest-size.
+        if let Some((evidence_key, cell, exact)) = self.l2_lookup(&key) {
+            let alg = select(&cell.matrix, &policy)?;
+            if exact {
+                self.stats.l2_exact_hit();
+            } else {
+                self.stats.l2_near_hit();
+            }
+            let refine = self.should_refine(&evidence_key, &cell);
+            self.l1_insert(
+                l1_key,
+                L1Entry {
+                    alg,
+                    exact,
+                    evidence: evidence_key.clone(),
+                    backend: cell.backend.clone(),
+                    generation: cell.generation,
+                },
+            );
+            let tier = if exact { Tier::L2 } else { Tier::L2Near };
+            return Ok((
+                answer(alg, tier, exact, &evidence_key, &cell.backend, cell.generation, refine),
+                refine.then_some(evidence_key),
+            ));
+        }
+
+        // Miss: compute the cell inline with the cheap backend, publish it
+        // as L2 evidence, and (optionally) hand the caller a refinement
+        // ticket so the simulator can upgrade it in the background.
+        self.stats.tier_miss();
+        let backend = self.compute_backend;
+        let matrix = self.compute_matrix(machine_id, &key, backend)?;
+        let alg = select(&matrix, &policy)?;
+        let status_quo = select(&matrix, &SelectionPolicy::NoDelayFastest)?;
+        let generation = 0;
+        {
+            let mut l2 = self.l2.write().expect("l2 lock");
+            // A racing query may have published the cell meanwhile; keep the
+            // existing one (same inputs → same matrix for the deterministic
+            // backends, so either is correct).
+            l2.entry(key.clone()).or_insert(CellEvidence {
+                matrix,
+                status_quo,
+                backend: backend.to_string(),
+                generation,
+            });
+            self.stats.l2_cells.store(l2.len(), Ordering::Relaxed);
+        }
+        let refine = self.refine_enabled
+            && backend != Backend::Sim
+            && self.refining.lock().expect("refining lock").insert(key.clone());
+        if refine {
+            self.stats.refine_scheduled();
+        }
+        self.l1_insert(
+            L1Key { cell: key.clone(), policy: policy_label.clone() },
+            L1Entry {
+                alg,
+                exact: true,
+                evidence: key.clone(),
+                backend: backend.to_string(),
+                generation,
+            },
+        );
+        Ok((
+            answer(alg, Tier::Computed, true, &key, &backend.to_string(), generation, refine),
+            refine.then_some(key),
+        ))
+    }
+
+    /// Re-measure `key` with the simulator and upgrade the cell if it is
+    /// still the generation the refinement started from. Called from a
+    /// background worker; never panics on missing cells.
+    pub fn refine(&self, key: &CellKey) {
+        let started_from = match self.l2.read().expect("l2 lock").get(key) {
+            Some(cell) => cell.generation,
+            None => {
+                self.refining.lock().expect("refining lock").remove(key);
+                self.stats.refine_dropped();
+                return;
+            }
+        };
+        let machine_id: MachineId = match key.machine.parse() {
+            Ok(id) => id,
+            Err(_) => {
+                self.refining.lock().expect("refining lock").remove(key);
+                self.stats.refine_dropped();
+                return;
+            }
+        };
+        let result = self.compute_matrix(machine_id, key, Backend::Sim);
+        let mut refining = self.refining.lock().expect("refining lock");
+        refining.remove(key);
+        drop(refining);
+        match result {
+            Ok(matrix) => {
+                let status_quo = match select(&matrix, &SelectionPolicy::NoDelayFastest) {
+                    Ok(a) => a,
+                    Err(_) => {
+                        self.stats.refine_dropped();
+                        return;
+                    }
+                };
+                let mut l2 = self.l2.write().expect("l2 lock");
+                match l2.get_mut(key) {
+                    // Only upgrade the generation the refinement observed:
+                    // if someone else already upgraded the cell, this result
+                    // is stale.
+                    Some(cell) if cell.generation == started_from => {
+                        cell.matrix = matrix;
+                        cell.status_quo = status_quo;
+                        cell.backend = Backend::Sim.to_string();
+                        cell.generation += 1;
+                        drop(l2);
+                        self.invalidate_l1(key);
+                        self.stats.refine_applied();
+                    }
+                    _ => self.stats.refine_dropped(),
+                }
+            }
+            Err(_) => self.stats.refine_dropped(),
+        }
+    }
+
+    /// Abandon a scheduled refinement (e.g. the worker pool rejected it).
+    pub fn cancel_refine(&self, key: &CellKey) {
+        self.refining.lock().expect("refining lock").remove(key);
+        self.stats.refine_dropped();
+    }
+
+    /// Drop L1 entries derived from `key` (their generation is now stale).
+    fn invalidate_l1(&self, key: &CellKey) {
+        let mut l1 = self.l1.lock().expect("l1 lock");
+        l1.retain(|_, entry| entry.evidence != *key);
+        self.stats.l1_entries.store(l1.len(), Ordering::Relaxed);
+    }
+
+    fn l1_lookup(&self, key: &L1Key) -> Option<L1Entry> {
+        let entry = self.l1.lock().expect("l1 lock").get(key).cloned()?;
+        // Generation check against the live cell; stale entries miss (and
+        // are overwritten by the fresh resolution that follows).
+        let l2 = self.l2.read().expect("l2 lock");
+        match l2.get(&entry.evidence) {
+            Some(cell) if cell.generation == entry.generation => Some(entry),
+            _ => None,
+        }
+    }
+
+    fn l1_insert(&self, key: L1Key, entry: L1Entry) {
+        let mut l1 = self.l1.lock().expect("l1 lock");
+        l1.insert(key, entry);
+        self.stats.l1_entries.store(l1.len(), Ordering::Relaxed);
+    }
+
+    /// Exact L2 lookup, then nearest message size in log-space among cells
+    /// with the same machine, collective, and rank count.
+    fn l2_lookup(&self, key: &CellKey) -> Option<(CellKey, CellEvidence, bool)> {
+        let l2 = self.l2.read().expect("l2 lock");
+        if let Some(cell) = l2.get(key) {
+            return Some((key.clone(), cell.clone(), true));
+        }
+        let dist = |bytes: u64| ((bytes.max(1) as f64).ln() - (key.bytes.max(1) as f64).ln()).abs();
+        l2.iter()
+            .filter(|(k, _)| k.machine == key.machine && k.kind == key.kind && k.ranks == key.ranks)
+            .min_by(|a, b| dist(a.0.bytes).partial_cmp(&dist(b.0.bytes)).expect("finite distances"))
+            .map(|(k, cell)| (k.clone(), cell.clone(), false))
+    }
+
+    /// Whether a hit on this cell should schedule a sim refinement.
+    fn should_refine(&self, key: &CellKey, cell: &CellEvidence) -> bool {
+        if !self.refine_enabled || cell.backend == "sim" {
+            return false;
+        }
+        let scheduled = self.refining.lock().expect("refining lock").insert(key.clone());
+        if scheduled {
+            self.stats.refine_scheduled();
+        }
+        scheduled
+    }
+
+    /// Run the full algorithm × pattern sweep for one cell.
+    fn compute_matrix(
+        &self,
+        machine_id: MachineId,
+        key: &CellKey,
+        backend: Backend,
+    ) -> Result<BenchMatrix, String> {
+        let platform = Platform::preset(machine_id, key.ranks);
+        let algs = experiment_ids(key.kind);
+        let cfg = BenchConfig::simulation().with_backend(backend);
+        let sw = sweep(&platform, key.kind, &algs, &self.shapes, key.bytes, self.skew, &[], &cfg)
+            .map_err(|e| format!("{} @ {} B: {e}", key.kind, key.bytes))?;
+        Ok(BenchMatrix::from_sweep(&sw))
+    }
+}
+
+/// Stable wire label of a selection policy.
+pub fn policy_label(policy: &SelectionPolicy) -> String {
+    match policy {
+        SelectionPolicy::NoDelayFastest => "no_delay_fastest".to_string(),
+        SelectionPolicy::RobustAverage { .. } => "robust".to_string(),
+        SelectionPolicy::BestUnderPattern(p) => format!("best_under:{p}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pap_arrival::generate;
+    use pap_core::{tune_machine, TunePlan};
+
+    fn store(l1: usize, refine: bool) -> TierStore {
+        TierStore::new(Arc::new(Stats::new()), l1, DefaultPolicy::Robust, Backend::Model, refine)
+    }
+
+    fn seeded_store(l1: usize, refine: bool, sizes: &[u64]) -> TierStore {
+        let s = store(l1, refine);
+        let platform = Platform::simcluster(8);
+        let plan = TunePlan {
+            kinds: vec![CollectiveKind::Reduce],
+            sizes: sizes.to_vec(),
+            ..TunePlan::default()
+        };
+        let cfg = BenchConfig::simulation().with_backend(Backend::Model);
+        let (_, records) = tune_machine(&platform, &plan, &cfg).unwrap();
+        s.ingest_records("SimCluster", &records, "model");
+        s
+    }
+
+    fn query(bytes: u64, arrivals: Option<Vec<f64>>) -> QueryRequest {
+        QueryRequest {
+            machine: "simcluster".into(),
+            collective: CollectiveKind::Reduce,
+            bytes,
+            ranks: 8,
+            arrivals,
+        }
+    }
+
+    #[test]
+    fn tier_progression_l2_then_l1() {
+        let s = seeded_store(32, false, &[1024]);
+        let (a1, t1) = s.resolve(&query(1024, None)).unwrap();
+        assert_eq!(a1.tier, Tier::L2);
+        assert!(a1.exact);
+        assert!(t1.is_none(), "refinement disabled");
+        let (a2, _) = s.resolve(&query(1024, None)).unwrap();
+        assert_eq!(a2.tier, Tier::L1);
+        assert_eq!(a2.alg, a1.alg);
+        assert_eq!(s.stats().report().tiers.l1_hits, 1);
+        assert_eq!(s.stats().report().tiers.l2_exact, 1);
+    }
+
+    #[test]
+    fn near_lookup_uses_log_distance() {
+        let s = seeded_store(0, false, &[8, 32 * 1024]);
+        let (a, _) = s.resolve(&query(16 * 1024, None)).unwrap();
+        assert_eq!(a.tier, Tier::L2Near);
+        assert!(!a.exact);
+        assert_eq!(a.evidence_bytes, 32 * 1024);
+    }
+
+    #[test]
+    fn cold_cell_is_computed_and_published() {
+        let s = store(8, false);
+        let (a, _) = s.resolve(&query(4096, None)).unwrap();
+        assert_eq!(a.tier, Tier::Computed);
+        assert_eq!(s.l2_len(), 1);
+        // Second identical query is an L1 hit now.
+        let (b, _) = s.resolve(&query(4096, None)).unwrap();
+        assert_eq!(b.tier, Tier::L1);
+        assert_eq!(b.alg, a.alg);
+    }
+
+    #[test]
+    fn arrival_samples_select_per_pattern() {
+        let s = seeded_store(32, false, &[1024]);
+        // Skewed samples classify to a shape; policy becomes best_under.
+        let proto = generate(Shape::LastDelayed, 8, 1e-3, 0);
+        let (a, _) = s.resolve(&query(1024, Some(proto.delays.clone()))).unwrap();
+        assert_eq!(a.pattern, "last_delayed");
+        assert!(a.policy.starts_with("best_under:"));
+        assert!(a.similarity > 0.99);
+        // Flat samples mean "synchronized": status-quo winner.
+        let (b, _) = s.resolve(&query(1024, Some(vec![0.0; 8]))).unwrap();
+        assert_eq!(b.policy, "no_delay_fastest");
+        assert_eq!(b.pattern, "no_delay");
+    }
+
+    #[test]
+    fn refinement_upgrades_generation_and_invalidates_l1() {
+        let s = seeded_store(32, true, &[1024]);
+        let (a, ticket) = s.resolve(&query(1024, None)).unwrap();
+        assert!(a.refine_scheduled);
+        let key = ticket.expect("model-backed cell should schedule refinement");
+        s.refine(&key);
+        let report = s.stats().report();
+        assert_eq!(report.tiers.refines_applied, 1);
+        // The L1 entry from generation 0 is stale: next query re-selects
+        // from the upgraded sim evidence at generation 1.
+        let (b, t2) = s.resolve(&query(1024, None)).unwrap();
+        assert_ne!(b.tier, Tier::L1);
+        assert_eq!(b.generation, 1);
+        assert_eq!(b.backend, "sim");
+        assert!(t2.is_none(), "sim-backed cells do not re-refine");
+    }
+
+    #[test]
+    fn duplicate_refinement_is_not_scheduled() {
+        let s = seeded_store(0, true, &[1024]);
+        let (_, t1) = s.resolve(&query(1024, None)).unwrap();
+        assert!(t1.is_some());
+        let (a2, t2) = s.resolve(&query(1024, None)).unwrap();
+        assert!(t2.is_none(), "already in flight");
+        assert!(!a2.refine_scheduled);
+        assert_eq!(s.stats().report().tiers.refines_scheduled, 1);
+    }
+
+    #[test]
+    fn invalid_queries_are_client_errors() {
+        let s = store(8, false);
+        assert!(s.resolve(&query(8, Some(vec![0.0; 3]))).unwrap_err().contains("samples"));
+        assert!(s
+            .resolve(&QueryRequest { machine: "nope".into(), ..query(8, None) })
+            .is_err());
+        assert!(s
+            .resolve(&QueryRequest { ranks: 1_000_000, ..query(8, None) })
+            .unwrap_err()
+            .contains("capacity"));
+        assert!(s
+            .resolve(&QueryRequest { ranks: 1, ..query(8, None) })
+            .unwrap_err()
+            .contains("at least 2"));
+        assert!(s
+            .resolve(&query(8, Some(vec![f64::NAN; 8])))
+            .unwrap_err()
+            .contains("non-finite"));
+    }
+}

@@ -1,0 +1,240 @@
+//! Wire-protocol property tests: serde round-trips for every frame type
+//! and classification of malformed input (truncated frames, unknown
+//! fields/variants, bad enum values) — the server must reply with a typed
+//! error, so the decoder must never panic and must salvage what it can.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::strategy::BoxedStrategy;
+
+use pap_collectives::CollectiveKind;
+use pap_service::proto::{
+    decode_reply, decode_request, encode_frame, EndpointCounters, ErrorCode, ErrorReply,
+    LatencyBucket, QueryAnswer, QueryRequest, Reply, ReplyEnvelope, Request, RequestEnvelope,
+    StatsReport, Tier, TierCounters, PROTO_VERSION,
+};
+
+fn any_kind() -> BoxedStrategy<CollectiveKind> {
+    prop_oneof![
+        Just(CollectiveKind::Reduce),
+        Just(CollectiveKind::Allreduce),
+        Just(CollectiveKind::Alltoall),
+        Just(CollectiveKind::Allgather),
+        Just(CollectiveKind::Bcast),
+        Just(CollectiveKind::Gather),
+        Just(CollectiveKind::Scatter),
+        Just(CollectiveKind::Barrier),
+    ]
+    .boxed()
+}
+
+fn any_machine() -> BoxedStrategy<String> {
+    prop_oneof![
+        Just("simcluster".to_string()),
+        Just("Hydra".to_string()),
+        Just("galileo100".to_string()),
+        Just("not-a-machine".to_string()),
+        Just(String::new()),
+    ]
+    .boxed()
+}
+
+fn any_arrivals() -> BoxedStrategy<Option<Vec<f64>>> {
+    (any::<bool>(), vec(0.0f64..2e-3, 0..24))
+        .prop_map(|(some, v)| some.then_some(v))
+        .boxed()
+}
+
+fn any_query() -> BoxedStrategy<QueryRequest> {
+    (any_machine(), any_kind(), 0u64..(1 << 22), 0usize..4096, any_arrivals())
+        .prop_map(|(machine, collective, bytes, ranks, arrivals)| QueryRequest {
+            machine,
+            collective,
+            bytes,
+            ranks,
+            arrivals,
+        })
+        .boxed()
+}
+
+fn any_request() -> BoxedStrategy<Request> {
+    prop_oneof![
+        any_query().prop_map(Request::Query),
+        Just(Request::Stats),
+        Just(Request::Ping),
+        Just(Request::Shutdown),
+    ]
+    .boxed()
+}
+
+fn any_tier() -> BoxedStrategy<Tier> {
+    prop_oneof![Just(Tier::L1), Just(Tier::L2), Just(Tier::L2Near), Just(Tier::Computed)].boxed()
+}
+
+fn any_error_code() -> BoxedStrategy<ErrorCode> {
+    prop_oneof![
+        Just(ErrorCode::BadFrame),
+        Just(ErrorCode::VersionMismatch),
+        Just(ErrorCode::BadRequest),
+        Just(ErrorCode::Internal),
+    ]
+    .boxed()
+}
+
+fn any_answer() -> BoxedStrategy<QueryAnswer> {
+    (
+        (any_machine(), any_kind(), 2usize..2048, 0u64..(1 << 22)),
+        (any::<u8>(), any_tier(), any::<bool>(), any::<u64>(), any::<bool>()),
+        -1.0f64..1.0,
+    )
+        .prop_map(|((machine, collective, ranks, bytes), (alg, tier, exact, generation, refine_scheduled), similarity)| {
+            QueryAnswer {
+                machine,
+                collective,
+                ranks,
+                bytes,
+                alg,
+                policy: "best_under:last_delayed".to_string(),
+                pattern: "last_delayed".to_string(),
+                similarity,
+                tier,
+                exact,
+                evidence_bytes: bytes.max(1),
+                backend: "model".to_string(),
+                generation,
+                refine_scheduled,
+            }
+        })
+        .boxed()
+}
+
+fn any_stats() -> BoxedStrategy<StatsReport> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (0usize..100_000, 0usize..100_000, any::<bool>(), any::<bool>(), 0.0f64..1e7),
+        vec((1u64..1_000_000, any::<u64>()), 0..16),
+    )
+        .prop_map(|((query, stats, ping, shutdown, error), (l1, l2, near, miss), (l2_cells, l1_entries, snapshot_loaded, tuned_at_startup, uptime_s), buckets)| {
+            StatsReport {
+                endpoints: EndpointCounters { query, stats, ping, shutdown, error },
+                tiers: TierCounters {
+                    l1_hits: l1,
+                    l2_exact: l2,
+                    l2_near: near,
+                    miss,
+                    refines_scheduled: 0,
+                    refines_applied: 0,
+                    refines_dropped: 0,
+                },
+                connections: query.wrapping_add(stats),
+                frames: query,
+                l2_cells,
+                l1_entries,
+                snapshot_loaded,
+                tuned_at_startup,
+                uptime_s,
+                latency: buckets
+                    .into_iter()
+                    .map(|(le_us, count)| LatencyBucket { le_us, count })
+                    .collect(),
+            }
+        })
+        .boxed()
+}
+
+fn any_reply() -> BoxedStrategy<Reply> {
+    prop_oneof![
+        any_answer().prop_map(Reply::Answer),
+        any_stats().prop_map(Reply::Stats),
+        Just(Reply::Pong),
+        Just(Reply::Bye),
+        (any_error_code(), Just("some detail".to_string()))
+            .prop_map(|(code, message)| Reply::Error(ErrorReply { code, message })),
+    ]
+    .boxed()
+}
+
+proptest! {
+    /// Every well-formed request survives encode → decode bit-exactly.
+    #[test]
+    fn request_frames_round_trip(id in any::<u64>(), req in any_request()) {
+        let env = RequestEnvelope { v: PROTO_VERSION, id, req };
+        let line = encode_frame(&env);
+        prop_assert!(line.ends_with('\n') && !line[..line.len() - 1].contains('\n'));
+        prop_assert_eq!(decode_request(line.trim_end()).unwrap(), env);
+    }
+
+    /// Every well-formed reply survives encode → decode bit-exactly.
+    #[test]
+    fn reply_frames_round_trip(id in any::<u64>(), reply in any_reply()) {
+        let env = ReplyEnvelope { v: PROTO_VERSION, id, reply };
+        let back = decode_reply(encode_frame(&env).trim_end()).unwrap();
+        prop_assert_eq!(back, env);
+    }
+
+    /// Any strict prefix of a valid frame is rejected as `BadFrame` —
+    /// truncation can never silently decode to something else.
+    #[test]
+    fn truncated_frames_are_bad_frames(id in any::<u64>(), req in any_request(), frac in 0.0f64..1.0) {
+        let env = RequestEnvelope { v: PROTO_VERSION, id, req };
+        let line = encode_frame(&env);
+        let body = line.trim_end();
+        let cut = 1 + (frac * (body.len() - 2) as f64) as usize; // 1..len-1
+        let err = decode_request(&body[..cut]).unwrap_err();
+        prop_assert_eq!(err.code, ErrorCode::BadFrame);
+        prop_assert_eq!(err.id, 0);
+    }
+
+    /// Unknown *extra* fields anywhere in the envelope are ignored
+    /// (forward compatibility with newer clients).
+    #[test]
+    fn unknown_fields_are_ignored(id in any::<u64>(), req in any_request()) {
+        let env = RequestEnvelope { v: PROTO_VERSION, id, req };
+        let line = encode_frame(&env);
+        let with_extra = line.replacen('{', "{\"x_future_field\":[1,2,{\"deep\":true}],", 1);
+        prop_assert_eq!(decode_request(with_extra.trim_end()).unwrap(), env);
+    }
+
+    /// A wrong protocol version is detected before body parsing and the
+    /// correlation id is salvaged for the error reply.
+    #[test]
+    fn version_mismatch_salvages_id(id in any::<u64>(), v in 2u32..1000) {
+        let line = format!("{{\"v\":{v},\"id\":{id},\"req\":\"Ping\"}}");
+        let err = decode_request(&line).unwrap_err();
+        prop_assert_eq!(err.code, ErrorCode::VersionMismatch);
+        prop_assert_eq!(err.id, id);
+    }
+
+    /// Unknown request variants and bad enum values inside an otherwise
+    /// valid envelope are `BadRequest` with the salvaged id.
+    #[test]
+    fn bad_bodies_are_bad_requests(id in any::<u64>()) {
+        let unknown_variant = format!("{{\"v\":1,\"id\":{id},\"req\":\"Reboot\"}}");
+        let err = decode_request(&unknown_variant).unwrap_err();
+        prop_assert_eq!((err.id, err.code), (id, ErrorCode::BadRequest));
+
+        let bad_enum = format!(
+            "{{\"v\":1,\"id\":{id},\"req\":{{\"Query\":{{\"machine\":\"simcluster\",\
+             \"collective\":\"Sort\",\"bytes\":8,\"ranks\":4,\"arrivals\":null}}}}}}"
+        );
+        let err = decode_request(&bad_enum).unwrap_err();
+        prop_assert_eq!((err.id, err.code), (id, ErrorCode::BadRequest));
+
+        let missing_field = format!(
+            "{{\"v\":1,\"id\":{id},\"req\":{{\"Query\":{{\"machine\":\"simcluster\",\
+             \"collective\":\"Reduce\",\"ranks\":4,\"arrivals\":null}}}}}}"
+        );
+        let err = decode_request(&missing_field).unwrap_err();
+        prop_assert_eq!((err.id, err.code), (id, ErrorCode::BadRequest));
+    }
+
+    /// The decoder is total: arbitrary ASCII garbage yields a typed error
+    /// (or a valid envelope), never a panic.
+    #[test]
+    fn decoder_never_panics(bytes in vec(32u8..127, 0..160)) {
+        let s: String = bytes.into_iter().map(char::from).collect();
+        let _ = decode_request(&s);
+        let _ = decode_reply(&s);
+    }
+}

@@ -5,8 +5,13 @@
 //! papctl algorithms [collective]
 //! papctl pattern <shape> <ranks> <skew_us> [--seed N]
 //! papctl bench <machine> <collective> <alg> <bytes> [--ranks N] [--shape S] [--skew-us X] [--nrep N] [--backend B]
-//! papctl sweep <machine> <collective> <bytes> [--ranks N] [--nrep N] [--backend B]
-//! papctl tune  <machine> [--ranks N] [--nrep N] [--backend B]   # emits a tuning-table JSON
+//! papctl sweep <machine> <collective> <bytes> [--ranks N] [--nrep N] [--backend B] [--json]
+//! papctl tune  <machine> [--ranks N] [--nrep N] [--backend B] [--out FILE]
+//! papctl serve [--addr A] [--snapshot F] [--backend B] [--threads N] [--machine M]
+//!              [--ranks N] [--policy P] [--l1 N] [--refine-threads N] [--no-tune]
+//! papctl query <machine> <collective> <bytes> --addr HOST:PORT [--ranks N]
+//!              [--arrivals d0,d1,…] [--json]
+//! papctl query --addr HOST:PORT {--stats|--ping|--shutdown}
 //! papctl ft    <machine> [--ranks N] [--alg A] [--iters N]
 //! papctl trace <machine> [--ranks N]                       # FT pattern in file format
 //! papctl lint  [--json] [--ranks 8,12,32] [--eager BYTES]  # static registry sweep
@@ -18,6 +23,11 @@
 //! resolves every cell through the event-driven simulator, `model` through
 //! the closed-form analytical cost models of `pap-model` (orders of
 //! magnitude faster; cross-validated by the differential test suite).
+//!
+//! `tune --out FILE` writes the full evidence snapshot (decisions + their
+//! benchmark matrices) in the format `papctl serve --snapshot FILE` loads
+//! for a warm restart. `serve` runs `papd`, the online selection daemon;
+//! `query` is the reference protocol client (see `pap-service`).
 
 use std::process::ExitCode;
 use std::str::FromStr;
@@ -30,6 +40,7 @@ use pap::core::report::render_normalized_table;
 use pap::core::{select, tune_machine, BenchMatrix, SelectionPolicy, TunePlan};
 use pap::lint::{sweep_registry, SweepConfig};
 use pap::microbench::{measure, sweep, Backend, BenchConfig, SkewPolicy};
+use pap::service::{Client, DefaultPolicy, QueryRequest, ServeConfig, Server, Snapshot};
 use pap::sim::{MachineId, Platform};
 use pap::tracer::{ideal_observer, CollectiveTrace, TracerConfig};
 
@@ -66,6 +77,16 @@ impl Args {
     fn pos(&self, i: usize) -> Result<&str, String> {
         self.positional.get(i).map(String::as_str).ok_or_else(|| "missing argument".to_string())
     }
+
+    /// The value of `--name`, if the flag was given with one.
+    fn opt(&self, name: &str) -> Option<&str> {
+        self.flags.iter().find(|(n, _)| n == name).and_then(|(_, v)| v.as_deref())
+    }
+
+    /// Whether `--name` was given at all (with or without a value).
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
 }
 
 fn main() -> ExitCode {
@@ -100,6 +121,8 @@ fn main() -> ExitCode {
         "bench" => cmd_bench(&args),
         "sweep" => cmd_sweep(&args),
         "tune" => cmd_tune(&args),
+        "serve" => cmd_serve(&args),
+        "query" => cmd_query(&args),
         "ft" => cmd_ft(&args),
         "trace" => cmd_trace(&args),
         "lint" => cmd_lint(&args),
@@ -118,12 +141,31 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: papctl <machines|algorithms|pattern|bench|sweep|tune|ft|trace|lint|help> …
+const USAGE: &str = "usage: papctl <machines|algorithms|pattern|bench|sweep|tune|serve|query|ft|trace|lint|help> …
 global flags: --threads N   worker threads for sweep/tune fan-out
-                            (default: PAP_THREADS env, else all cores; 1 = sequential)
+                            (default: PAP_THREADS env, else all cores; 1 = sequential);
+                            for `serve`, also the connection-pool size
 bench/sweep/tune flags: --backend {sim,model}
                             sim   = event-driven simulator (default)
                             model = closed-form analytical LogGP models
+sweep flags: --json         print the benchmark matrix as JSON instead of the table
+tune flags: --out FILE      also write the evidence snapshot (decisions + matrices)
+                            that `papctl serve --snapshot FILE` warm-starts from
+serve flags: --addr A       listen address (default 127.0.0.1:0 = ephemeral port)
+             --snapshot F   warm-start L2 from FILE instead of tuning at startup
+             --backend B    backend for startup tuning and cold cells (default model)
+             --machine M    machine preset to pre-tune (default simcluster)
+             --ranks N      rank count to pre-tune (default 16)
+             --policy P     default policy for sample-less queries
+                            (robust | no_delay_fastest; default robust)
+             --l1 N         L1 answer-cache capacity (default 1024; 0 disables)
+             --refine-threads N  background sim-refinement workers (default 1; 0 disables)
+             --no-tune      start with an empty L2 (every cell computed on demand)
+query flags: --addr A       daemon address (required; printed by `papctl serve`)
+             --ranks N      rank count (default 16)
+             --arrivals CSV per-rank arrival samples, e.g. 0,0.2,1.5e-3
+             --json         print the raw answer/stats JSON
+             --stats | --ping | --shutdown   control endpoints (no positionals)
 lint flags: --json          machine-readable SweepSummary document
             --ranks A,B,C   rank counts to sweep (default 8,12,32)
             --eager BYTES   eager threshold for the protocol analysis (default 16384)
@@ -273,7 +315,114 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
             }
         );
     }
+    if args.has("out") {
+        let path = args.opt("out").ok_or("--out needs a file path")?;
+        let snap = Snapshot::from_records(
+            platform.machine.name(),
+            platform.ranks,
+            &cfg.backend.to_string(),
+            &records,
+        );
+        snap.save(std::path::Path::new(path))?;
+        eprintln!("wrote snapshot {path} ({} cells)", snap.cells.len());
+    }
     println!("{}", table.to_json());
+    Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let defaults = ServeConfig::default();
+    let cfg = ServeConfig {
+        addr: args.flag("addr", defaults.addr.clone()),
+        snapshot: args.opt("snapshot").map(std::path::PathBuf::from),
+        backend: match args.opt("backend") {
+            Some(b) => b.parse()?,
+            None => defaults.backend,
+        },
+        machine: args.flag("machine", defaults.machine.clone()),
+        ranks: args.flag("ranks", defaults.ranks),
+        threads: args.flag("threads", defaults.threads),
+        refine_threads: args.flag("refine-threads", defaults.refine_threads),
+        l1_capacity: args.flag("l1", defaults.l1_capacity),
+        default_policy: match args.opt("policy") {
+            Some(p) => p.parse::<DefaultPolicy>()?,
+            None => defaults.default_policy,
+        },
+        read_timeout: defaults.read_timeout,
+        tune_at_startup: !args.has("no-tune"),
+    };
+    let server = Server::start(cfg)?;
+    // Scripted callers (the CI smoke job) read the resolved port from this
+    // line, so flush past stdout's pipe buffering before blocking.
+    println!("papd listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let stats = std::sync::Arc::clone(server.stats());
+    server.join();
+    eprint!("papd: shut down\n{}", stats.report().render_table());
+    Ok(())
+}
+
+fn cmd_query(args: &Args) -> Result<(), String> {
+    let addr = args
+        .opt("addr")
+        .ok_or("query needs --addr HOST:PORT (printed by `papctl serve`)")?;
+    let mut client = Client::connect(addr)?;
+    let json = args.has("json");
+    if args.has("stats") {
+        let report = client.stats()?;
+        if json {
+            println!("{}", serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?);
+        } else {
+            print!("{}", report.render_table());
+        }
+        return Ok(());
+    }
+    if args.has("ping") {
+        client.ping()?;
+        println!("pong");
+        return Ok(());
+    }
+    if args.has("shutdown") {
+        client.shutdown()?;
+        println!("papd acknowledged shutdown");
+        return Ok(());
+    }
+
+    let machine = args.pos(0)?.to_string();
+    let collective: CollectiveKind = args.pos(1)?.parse()?;
+    let bytes: u64 = args.pos(2)?.parse().map_err(|_| "bytes must be a number")?;
+    let ranks = args.flag("ranks", 16usize);
+    let arrivals = match args.opt("arrivals") {
+        Some(csv) => Some(
+            csv.split(',')
+                .map(|s| s.trim().parse::<f64>().map_err(|_| format!("bad arrival sample '{s}'")))
+                .collect::<Result<Vec<f64>, String>>()?,
+        ),
+        None => None,
+    };
+    let answer = client.query(QueryRequest { machine, collective, bytes, ranks, arrivals })?;
+    if json {
+        println!("{}", serde_json::to_string_pretty(&answer).map_err(|e| e.to_string())?);
+    } else {
+        println!(
+            "{} {} B on {} ({} ranks): use A{}  [policy {}; pattern {} (sim {:.2}); \
+             tier {}; evidence {} B via {} gen {}{}]",
+            answer.collective,
+            answer.bytes,
+            answer.machine,
+            answer.ranks,
+            answer.alg,
+            answer.policy,
+            answer.pattern,
+            answer.similarity,
+            answer.tier.label(),
+            answer.evidence_bytes,
+            answer.backend,
+            answer.generation,
+            if answer.refine_scheduled { "; sim refinement scheduled" } else { "" },
+        );
+    }
     Ok(())
 }
 

@@ -26,6 +26,9 @@
 //! * [`lint`] — zero-execution static schedule verifier (`papctl lint`):
 //!   message matching, deadlock/protocol-fragility, tag conflicts, request
 //!   lifecycle, slot dataflow
+//! * [`service`] — `papd`, the online selection daemon (`papctl serve` /
+//!   `papctl query`): tiered caching over precomputed tuning evidence,
+//!   arrival-sample classification, background sim refinement
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for the
 //! experiment index.
@@ -42,5 +45,6 @@ pub use pap_lint as lint;
 pub use pap_microbench as microbench;
 pub use pap_model as model;
 pub use pap_parallel as parallel;
+pub use pap_service as service;
 pub use pap_sim as sim;
 pub use pap_tracer as tracer;
