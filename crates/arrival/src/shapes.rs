@@ -85,11 +85,20 @@ impl std::fmt::Display for Shape {
 
 impl std::str::FromStr for Shape {
     type Err = String;
+
+    /// Case-insensitive; hyphens are accepted in place of underscores
+    /// (`last-delayed` ≡ `last_delayed`). `imbalanced-linear` — the generic
+    /// name used in discussions of linearly skewed arrival — is an alias
+    /// for [`Shape::Ascending`].
     fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let canon = s.to_ascii_lowercase().replace('-', "_");
+        if canon == "imbalanced_linear" {
+            return Ok(Shape::Ascending);
+        }
         Shape::SUITE
             .iter()
             .copied()
-            .find(|sh| sh.name() == s)
+            .find(|sh| sh.name() == canon)
             .ok_or_else(|| format!("unknown arrival-pattern shape '{s}'"))
     }
 }
@@ -173,6 +182,14 @@ mod tests {
             assert_eq!(parsed, sh);
         }
         assert!("bogus".parse::<Shape>().is_err());
+    }
+
+    #[test]
+    fn hyphenated_and_alias_names_parse() {
+        assert_eq!("last-delayed".parse::<Shape>().unwrap(), Shape::LastDelayed);
+        assert_eq!("V-Shape".parse::<Shape>().unwrap(), Shape::VShape);
+        assert_eq!("imbalanced-linear".parse::<Shape>().unwrap(), Shape::Ascending);
+        assert_eq!("imbalanced_linear".parse::<Shape>().unwrap(), Shape::Ascending);
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! Observability overhead: what `pap-obs` instrumentation costs.
+//!
+//! Three questions, one bench each (the numbers land in BENCH_obs.json):
+//!
+//! * `obs/span_disabled` — the cost of a span call site when tracing is off.
+//!   This is the price every instrumented hot path pays unconditionally, and
+//!   the design target is "one relaxed atomic load": it must stay in the
+//!   low single-digit nanoseconds.
+//! * `obs/span_enabled` — the cost of an actually recorded span (two clock
+//!   reads + a ring-buffer push), the price paid only under `--metrics` or
+//!   `papctl profile`.
+//! * `obs/sweep_throughput` — the end-to-end guardrail: the exact
+//!   `pipeline/sweep_throughput` workload (hydra(32), Alltoall algs
+//!   [1,2,3,4] × `Shape::SUITE`, real_machine(2)) with instrumentation
+//!   disabled vs enabled. Disabled must stay within 2% of the
+//!   BENCH_sweep.json numbers recorded before pap-obs existed.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pap_arrival::Shape;
+use pap_collectives::CollectiveKind;
+use pap_microbench::{sweep, BenchConfig, SkewPolicy};
+use pap_sim::Platform;
+
+fn bench_span_call_site(c: &mut Criterion) {
+    pap_obs::set_enabled(false);
+    c.bench_function("obs/span_disabled", |b| {
+        b.iter(|| black_box(pap_obs::span("bench", "noop")));
+    });
+
+    pap_obs::set_enabled(true);
+    c.bench_function("obs/span_enabled", |b| {
+        b.iter(|| black_box(pap_obs::span("bench", "noop")));
+    });
+    pap_obs::set_enabled(false);
+    // The enabled bench filled the thread's ring; leave it empty for
+    // whatever runs next in this process.
+    let _ = pap_obs::drain_spans();
+}
+
+/// The pipeline/sweep_throughput workload, instrumentation off vs on.
+fn bench_sweep_with_and_without_obs(c: &mut Criterion) {
+    let platform = Platform::hydra(32);
+    let cfg = BenchConfig::real_machine(2);
+    let algs = [1u8, 2, 3, 4];
+    let shapes = Shape::SUITE;
+    let cells = (algs.len() * shapes.len()) as u64;
+
+    let mut g = c.benchmark_group("obs/sweep_throughput");
+    g.throughput(Throughput::Elements(cells));
+    for enabled in [false, true] {
+        pap_obs::set_enabled(enabled);
+        let label = if enabled { "enabled" } else { "disabled" };
+        g.bench_function(BenchmarkId::new("spans", label), |b| {
+            b.iter(|| {
+                sweep(
+                    &platform,
+                    CollectiveKind::Alltoall,
+                    &algs,
+                    &shapes,
+                    1024,
+                    SkewPolicy::FactorOfAvg(1.0),
+                    &[],
+                    &cfg,
+                )
+                .unwrap()
+            });
+        });
+        let _ = pap_obs::drain_spans();
+    }
+    g.finish();
+    pap_obs::set_enabled(false);
+}
+
+criterion_group!(benches, bench_span_call_site, bench_sweep_with_and_without_obs);
+criterion_main!(benches);

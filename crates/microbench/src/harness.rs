@@ -171,9 +171,53 @@ impl From<pap_model::ModelError> for BenchError {
     }
 }
 
+/// Cached handles into the global metrics registry: per-cell wall time plus
+/// backend routing counts (one relaxed add each per `measure` call).
+struct HarnessMetrics {
+    cell_wall_us: pap_obs::Histogram,
+    cells_sim: pap_obs::Counter,
+    cells_model: pap_obs::Counter,
+    cell_errors: pap_obs::Counter,
+}
+
+fn harness_metrics() -> &'static HarnessMetrics {
+    static M: std::sync::OnceLock<HarnessMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| {
+        let reg = pap_obs::global();
+        HarnessMetrics {
+            cell_wall_us: reg.histogram(
+                "bench.cell_wall_us",
+                &[100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 1_000_000],
+            ),
+            cells_sim: reg.counter("bench.cells.sim"),
+            cells_model: reg.counter("bench.cells.model"),
+            cell_errors: reg.counter("bench.cells.error"),
+        }
+    })
+}
+
 /// Measure one collective under one arrival pattern: `cfg.nrep` repetitions
 /// of Listing 1, each an independent simulator run.
 pub fn measure(
+    platform: &Platform,
+    spec: &CollSpec,
+    pattern: &ArrivalPattern,
+    cfg: &BenchConfig,
+) -> Result<crate::RunStats, BenchError> {
+    let wall = std::time::Instant::now();
+    let _span = pap_obs::span("bench", "measure_cell");
+    let out = measure_inner(platform, spec, pattern, cfg);
+    let m = harness_metrics();
+    m.cell_wall_us.record(wall.elapsed().as_micros().min(u64::MAX as u128) as u64);
+    match (&out, cfg.backend) {
+        (Err(_), _) => m.cell_errors.inc(),
+        (Ok(_), Backend::Sim) => m.cells_sim.inc(),
+        (Ok(_), Backend::Model) => m.cells_model.inc(),
+    }
+    out
+}
+
+fn measure_inner(
     platform: &Platform,
     spec: &CollSpec,
     pattern: &ArrivalPattern,

@@ -25,11 +25,13 @@
 pub mod adaptive;
 pub mod harness;
 pub mod predictor;
+pub mod profile;
 pub mod stats;
 pub mod sweep;
 
 pub use adaptive::{measure_adaptive, relative_ci, AdaptiveStats, StopRule};
 pub use harness::{measure, Backend, BenchConfig, BenchError, Measurement};
 pub use predictor::{predictor_for, ModelPredictor, Predictor, SimPredictor};
+pub use profile::{profile, Profile};
 pub use stats::RunStats;
 pub use sweep::{calibrate_avg_runtime, sweep, SkewPolicy, SweepCell, SweepResult};

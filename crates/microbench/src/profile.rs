@@ -1,0 +1,253 @@
+//! Timeline profiling: one simulator run rendered as a Perfetto-loadable
+//! Chrome Trace Event document — Fig. 1/2 of the paper as an interactive
+//! timeline.
+//!
+//! [`profile`] runs a collective under an arrival pattern exactly like
+//! [`measure`](crate::measure) in its noise-free simulation setting, but
+//! with per-message recording enabled, and converts the [`RunOutcome`] into
+//! a trace with:
+//!
+//! * one lane per rank (`tid` = rank, named `rank N`),
+//! * a `wait` slice covering the rank's injected arrival delay,
+//! * an arrival→exit slice for the collective itself (`aᵢ` → `eᵢ`), carrying
+//!   the rank's delay in the detail pane,
+//! * a flow arrow per point-to-point message, from the sender at its send
+//!   time to the receiver at delivery,
+//! * trace-level metadata with the run's `d̂`, `d*` and makespan, so the
+//!   numbers in the timeline tie back to what `papctl bench` reports.
+
+use pap_arrival::ArrivalPattern;
+use pap_collectives::registry::algorithm;
+use pap_collectives::{build, CollSpec};
+use pap_obs::ChromeTrace;
+use pap_sim::{run_ref, Job, Label, NoiseModel, Op, Platform, RankProgram, SimConfig};
+use serde::Content;
+
+use crate::harness::BenchError;
+
+/// Lane group ID used for simulator ranks in emitted traces.
+const SIM_PID: u64 = 1;
+
+/// A profiled run: the trace plus the scalar delays it visualizes.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// The Perfetto-loadable timeline.
+    pub trace: ChromeTrace,
+    /// Last delay `d̂ = max(eᵢ) − max(aᵢ)` (Eq. 2).
+    pub d_hat: f64,
+    /// Total delay `d* = max(eᵢ) − min(aᵢ)` (Eq. 1).
+    pub d_star: f64,
+    /// Ranks in the run (= lanes in the trace).
+    pub ranks: usize,
+    /// Point-to-point messages (= flow arrows in the trace).
+    pub messages: usize,
+}
+
+/// Per-lane pending event, sorted by `(ts, order)` before emission so each
+/// lane's event stream is timestamp-monotone. At equal timestamps a slice
+/// end precedes the next begin (`wait` ends exactly where the collective
+/// starts), and flows come last (a message sent at the arrival instant lands
+/// inside the collective slice).
+enum LaneEvent {
+    End,
+    Begin { name: String, cat: &'static str, args: Vec<(String, Content)> },
+    FlowStart { id: u64, name: String },
+    FlowEnd { id: u64, name: String },
+}
+
+impl LaneEvent {
+    fn order(&self) -> u8 {
+        match self {
+            LaneEvent::End => 0,
+            LaneEvent::Begin { .. } => 1,
+            LaneEvent::FlowStart { .. } | LaneEvent::FlowEnd { .. } => 2,
+        }
+    }
+}
+
+fn us(t: f64) -> f64 {
+    t * 1e6
+}
+
+/// Run `spec` under `pattern` on `platform` (noise-free simulation setting,
+/// seeded by `seed`) and render the run as a timeline.
+pub fn profile(
+    platform: &Platform,
+    spec: &CollSpec,
+    pattern: &ArrivalPattern,
+    seed: u64,
+) -> Result<Profile, BenchError> {
+    let p = platform.ranks;
+    if pattern.len() != p {
+        return Err(BenchError::PatternMismatch { pattern: pattern.len(), ranks: p });
+    }
+
+    // Same program construction as the measurement harness (Listing 1):
+    // harmonized start, pattern delay, labelled collective.
+    let target = 1e-3;
+    let label = Label { kind: spec.kind.label_kind(), seq: 0 };
+    let built = build(spec, p)?;
+    let mut programs = Vec::with_capacity(p);
+    for (r, ops) in built.rank_ops.into_iter().enumerate() {
+        let mut prog = RankProgram::new();
+        prog.push_anon(vec![Op::SleepUntil { time: target }, Op::delay(pattern.delay_of(r))]);
+        prog.push_labeled(label, ops);
+        programs.push(prog);
+    }
+    let job = Job::new(programs);
+
+    let sim_cfg = SimConfig {
+        seed,
+        track_data: false,
+        noise: NoiseModel::None,
+        record_messages: true,
+    };
+    let out = run_ref(platform, &job, &sim_cfg)?;
+
+    let phases = out.phases_for(label);
+    debug_assert_eq!(phases.len(), p);
+    let max_a = phases.iter().map(|r| r.enter).fold(f64::NEG_INFINITY, f64::max);
+    let min_a = phases.iter().map(|r| r.enter).fold(f64::INFINITY, f64::min);
+    let max_e = phases.iter().map(|r| r.exit).fold(f64::NEG_INFINITY, f64::max);
+    let d_hat = max_e - max_a;
+    let d_star = max_e - min_a;
+
+    let alg_name = algorithm(spec.kind, spec.alg)
+        .map(|a| a.name)
+        .unwrap_or("unknown algorithm");
+    let slice_name = format!("{}[{}] {}", spec.kind, spec.alg, alg_name);
+
+    // Gather per-lane events, then emit each lane in timestamp order.
+    let mut lanes: Vec<Vec<(f64, LaneEvent)>> = (0..p).map(|_| Vec::new()).collect();
+    for rec in &phases {
+        let delay = pattern.delay_of(rec.rank);
+        if delay > 0.0 {
+            lanes[rec.rank].push((
+                us(rec.enter - delay),
+                LaneEvent::Begin {
+                    name: "wait".to_string(),
+                    cat: "pattern",
+                    args: vec![("delay_s".to_string(), Content::F64(delay))],
+                },
+            ));
+            lanes[rec.rank].push((us(rec.enter), LaneEvent::End));
+        }
+        lanes[rec.rank].push((
+            us(rec.enter),
+            LaneEvent::Begin {
+                name: slice_name.clone(),
+                cat: "collective",
+                args: vec![
+                    ("arrival_s".to_string(), Content::F64(rec.enter)),
+                    ("exit_s".to_string(), Content::F64(rec.exit)),
+                    ("delay_s".to_string(), Content::F64(delay)),
+                ],
+            },
+        ));
+        lanes[rec.rank].push((us(rec.exit), LaneEvent::End));
+    }
+
+    let msg_events = out.msg_events.as_deref().unwrap_or(&[]);
+    for (i, m) in msg_events.iter().enumerate() {
+        let name = format!("{}B", m.bytes);
+        lanes[m.src].push((
+            us(m.sent),
+            LaneEvent::FlowStart { id: i as u64, name: name.clone() },
+        ));
+        lanes[m.dst].push((us(m.delivered), LaneEvent::FlowEnd { id: i as u64, name }));
+    }
+
+    let mut trace = ChromeTrace::new();
+    trace.process_name(SIM_PID, &format!("pap-sim: {slice_name}"));
+    for r in 0..p {
+        trace.thread_name(SIM_PID, r as u64, &format!("rank {r}"));
+    }
+    for (rank, mut events) in lanes.into_iter().enumerate() {
+        events.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("sim times are finite")
+                .then(a.1.order().cmp(&b.1.order()))
+        });
+        let tid = rank as u64;
+        for (ts, ev) in events {
+            match ev {
+                LaneEvent::End => trace.end(SIM_PID, tid, ts),
+                LaneEvent::Begin { name, cat, args } => {
+                    trace.begin_with_args(SIM_PID, tid, &name, cat, ts, args)
+                }
+                LaneEvent::FlowStart { id, name } => {
+                    trace.flow_start(SIM_PID, tid, &name, id, ts)
+                }
+                LaneEvent::FlowEnd { id, name } => trace.flow_end(SIM_PID, tid, &name, id, ts),
+            }
+        }
+    }
+
+    trace.set_metadata("collective", Content::Str(spec.kind.to_string()));
+    trace.set_metadata("algorithm", Content::Str(format!("{} ({})", spec.alg, alg_name)));
+    trace.set_metadata("bytes", Content::U64(spec.bytes));
+    trace.set_metadata("ranks", Content::U64(p as u64));
+    trace.set_metadata("max_skew_s", Content::F64(pattern.max_skew()));
+    trace.set_metadata("d_hat_s", Content::F64(d_hat));
+    trace.set_metadata("d_star_s", Content::F64(d_star));
+    trace.set_metadata("makespan_s", Content::F64(out.makespan()));
+    trace.set_metadata("messages", Content::U64(out.messages));
+
+    Ok(Profile { trace, d_hat, d_star, ranks: p, messages: msg_events.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pap_arrival::{generate, Shape};
+    use pap_collectives::CollectiveKind;
+
+    fn run_profile(p: usize) -> Profile {
+        let platform = Platform::simcluster(p);
+        let spec = CollSpec::new(CollectiveKind::Reduce, 5, 1024);
+        let pattern = generate(Shape::Ascending, p, 1e-4, 1);
+        profile(&platform, &spec, &pattern, 7).unwrap()
+    }
+
+    #[test]
+    fn trace_validates_with_one_lane_per_rank() {
+        let prof = run_profile(8);
+        let stats = pap_obs::validate_trace(&prof.trace.to_json_string()).unwrap();
+        assert_eq!(stats.lanes, 8);
+        assert!(stats.flows > 0, "reduce must move messages");
+        assert_eq!(stats.flows, prof.messages);
+        // Every rank has a collective slice; delayed ranks add wait slices.
+        assert!(stats.slices >= 8);
+    }
+
+    #[test]
+    fn delays_match_the_measurement_harness() {
+        let p = 8;
+        let platform = Platform::simcluster(p);
+        let spec = CollSpec::new(CollectiveKind::Reduce, 5, 1024);
+        let pattern = generate(Shape::Ascending, p, 1e-4, 1);
+        let prof = profile(&platform, &spec, &pattern, 7).unwrap();
+        let st = crate::measure(&platform, &spec, &pattern, &crate::BenchConfig::simulation())
+            .unwrap();
+        assert!((prof.d_hat - st.mean_last()).abs() < 1e-12, "profile d̂ must match measure");
+        assert!((prof.d_star - st.mean_total()).abs() < 1e-12, "profile d* must match measure");
+    }
+
+    #[test]
+    fn profile_is_deterministic() {
+        let a = run_profile(4).trace.to_json_string();
+        let b = run_profile(4).trace.to_json_string();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pattern_mismatch_is_rejected() {
+        let platform = Platform::simcluster(8);
+        let spec = CollSpec::new(CollectiveKind::Reduce, 5, 1024);
+        let pattern = generate(Shape::NoDelay, 4, 0.0, 1);
+        assert!(matches!(
+            profile(&platform, &spec, &pattern, 0),
+            Err(BenchError::PatternMismatch { .. })
+        ));
+    }
+}

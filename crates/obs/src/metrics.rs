@@ -1,0 +1,456 @@
+//! Unified metrics: named counters, gauges and fixed-bucket histograms.
+//!
+//! A [`Registry`] hands out cheap `Arc`-backed handles; recording through a
+//! handle is a single relaxed atomic operation and never touches the
+//! registry lock (the lock is taken only at handle creation and snapshot
+//! time). Create one registry per logical service (`papd` does) or use the
+//! process-wide [`global`] registry for library-level metrics (the sim
+//! engine, the `pap-parallel` pool, the micro-benchmark harness).
+//!
+//! Snapshots ([`MetricsSnapshot`]) are serde-serializable (the `papd`
+//! `Metrics` endpoint ships them over the wire) and render as an aligned
+//! text table for terminals and CI step summaries.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing counter handle.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge handle (signed, so deltas can go negative).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add a (possibly negative) delta and return the new value.
+    #[inline]
+    pub fn add(&self, delta: i64) -> i64 {
+        self.0.fetch_add(delta, Ordering::Relaxed) + delta
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+struct HistogramCore {
+    /// Inclusive upper bounds; an implicit overflow bucket follows.
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket histogram handle (e.g. microsecond latencies).
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let c = &self.0;
+        let idx = c.bounds.iter().position(|&b| value <= b).unwrap_or(c.bounds.len());
+        c.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Count in the bucket with inclusive upper bound `le` (`u64::MAX` for
+    /// the overflow bucket); `None` if no such bound exists.
+    pub fn bucket_count(&self, le: u64) -> Option<u64> {
+        let c = &self.0;
+        if le == u64::MAX {
+            return Some(c.buckets[c.bounds.len()].load(Ordering::Relaxed));
+        }
+        let i = c.bounds.iter().position(|&b| b == le)?;
+        Some(c.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A named collection of metrics; see the module docs.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Vec<(String, Metric)>>,
+}
+
+impl Registry {
+    /// Fresh empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get or create the counter `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric type.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        if let Some((_, m)) = inner.iter().find(|(n, _)| n == name) {
+            match m {
+                Metric::Counter(c) => return c.clone(),
+                _ => panic!("metric '{name}' already registered with a different type"),
+            }
+        }
+        let c = Counter(Arc::new(AtomicU64::new(0)));
+        inner.push((name.to_string(), Metric::Counter(c.clone())));
+        c
+    }
+
+    /// Get or create the gauge `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric type.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        if let Some((_, m)) = inner.iter().find(|(n, _)| n == name) {
+            match m {
+                Metric::Gauge(g) => return g.clone(),
+                _ => panic!("metric '{name}' already registered with a different type"),
+            }
+        }
+        let g = Gauge(Arc::new(AtomicI64::new(0)));
+        inner.push((name.to_string(), Metric::Gauge(g.clone())));
+        g
+    }
+
+    /// Get or create the histogram `name` with inclusive upper `bounds`
+    /// (strictly increasing; an overflow bucket is appended automatically).
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty or not strictly increasing, or if `name`
+    /// is already registered as a different metric type. Re-registering an
+    /// existing histogram returns the existing handle; its original bounds
+    /// win.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram '{name}' needs at least one bucket bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram '{name}' bounds must be strictly increasing"
+        );
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        if let Some((_, m)) = inner.iter().find(|(n, _)| n == name) {
+            match m {
+                Metric::Histogram(h) => return h.clone(),
+                _ => panic!("metric '{name}' already registered with a different type"),
+            }
+        }
+        let h = Histogram(Arc::new(HistogramCore {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }));
+        inner.push((name.to_string(), Metric::Histogram(h.clone())));
+        h
+    }
+
+    /// Read every metric into a serializable snapshot, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut snap = MetricsSnapshot::default();
+        for (name, metric) in inner.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    snap.counters.push(NamedValue { name: name.clone(), value: c.get() })
+                }
+                Metric::Gauge(g) => {
+                    snap.gauges.push(NamedGauge { name: name.clone(), value: g.get() })
+                }
+                Metric::Histogram(h) => {
+                    let core = &h.0;
+                    let mut buckets: Vec<BucketSnapshot> = core
+                        .bounds
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &le)| BucketSnapshot {
+                            le,
+                            count: core.buckets[i].load(Ordering::Relaxed),
+                        })
+                        .collect();
+                    buckets.push(BucketSnapshot {
+                        le: u64::MAX,
+                        count: core.buckets[core.bounds.len()].load(Ordering::Relaxed),
+                    });
+                    snap.histograms.push(HistogramSnapshot {
+                        name: name.clone(),
+                        count: core.count.load(Ordering::Relaxed),
+                        sum: core.sum.load(Ordering::Relaxed),
+                        buckets,
+                    });
+                }
+            }
+        }
+        snap.counters.sort_by(|a, b| a.name.cmp(&b.name));
+        snap.gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        snap.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        snap
+    }
+}
+
+/// The process-wide registry used by library-level instrumentation (sim
+/// engine, `pap-parallel`, micro-benchmark harness).
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// A named counter value in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NamedValue {
+    /// Metric name.
+    pub name: String,
+    /// Counter value.
+    pub value: u64,
+}
+
+/// A named gauge value in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NamedGauge {
+    /// Metric name.
+    pub name: String,
+    /// Gauge value.
+    pub value: i64,
+}
+
+/// One histogram bucket in a [`HistogramSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketSnapshot {
+    /// Inclusive upper bound (`u64::MAX` = overflow bucket).
+    pub le: u64,
+    /// Observations in this bucket.
+    pub count: u64,
+}
+
+/// A histogram's state in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Per-bucket counts (non-cumulative), overflow last.
+    pub buckets: Vec<BucketSnapshot>,
+}
+
+/// A point-in-time, wire-serializable view of a [`Registry`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counters, sorted by name.
+    pub counters: Vec<NamedValue>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<NamedGauge>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Append another snapshot's metrics (e.g. the [`global`] registry's
+    /// library metrics after a service's own), keeping each section sorted.
+    pub fn extend(&mut self, other: MetricsSnapshot) {
+        self.counters.extend(other.counters);
+        self.gauges.extend(other.gauges);
+        self.histograms.extend(other.histograms);
+        self.counters.sort_by(|a, b| a.name.cmp(&b.name));
+        self.gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        self.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    }
+
+    /// Render as an aligned text table (terminals, CI step summaries).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .counters
+            .iter()
+            .map(|c| c.name.len())
+            .chain(self.gauges.iter().map(|g| g.name.len()))
+            .chain(self.histograms.iter().map(|h| h.name.len()))
+            .max()
+            .unwrap_or(0)
+            .max("metric".len());
+        out.push_str(&format!("{:<width$}  value\n", "metric"));
+        for c in &self.counters {
+            out.push_str(&format!("{:<width$}  {}\n", c.name, c.value));
+        }
+        for g in &self.gauges {
+            out.push_str(&format!("{:<width$}  {}\n", g.name, g.value));
+        }
+        for h in &self.histograms {
+            let mean = if h.count > 0 { h.sum as f64 / h.count as f64 } else { 0.0 };
+            out.push_str(&format!(
+                "{:<width$}  count {} mean {:.1}  ",
+                h.name, h.count, mean
+            ));
+            if h.count == 0 {
+                out.push_str("(empty)\n");
+                continue;
+            }
+            let parts: Vec<String> = h
+                .buckets
+                .iter()
+                .filter(|b| b.count > 0)
+                .map(|b| {
+                    if b.le == u64::MAX {
+                        format!("<=inf: {}", b.count)
+                    } else {
+                        format!("<={}: {}", b.le, b.count)
+                    }
+                })
+                .collect();
+            out.push_str(&parts.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_gauge_histogram_round_trip() {
+        let reg = Registry::new();
+        let c = reg.counter("requests");
+        c.inc();
+        c.add(4);
+        let g = reg.gauge("backlog");
+        g.set(7);
+        assert_eq!(g.add(-3), 4);
+        let h = reg.histogram("lat_us", &[10, 100]);
+        h.record(5);
+        h.record(50);
+        h.record(5000);
+        assert_eq!(c.get(), 5);
+        assert_eq!(g.get(), 4);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.bucket_count(10), Some(1));
+        assert_eq!(h.bucket_count(100), Some(1));
+        assert_eq!(h.bucket_count(u64::MAX), Some(1));
+        assert_eq!(h.bucket_count(11), None);
+    }
+
+    #[test]
+    fn handles_are_shared_by_name() {
+        let reg = Registry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.inc();
+        assert_eq!(reg.counter("x").get(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn name_type_conflicts_panic() {
+        let reg = Registry::new();
+        let _c = reg.counter("dual");
+        let _g = reg.gauge("dual");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_serializable_and_extendable() {
+        let reg = Registry::new();
+        reg.counter("z.last").add(2);
+        reg.counter("a.first").add(1);
+        reg.gauge("m.mid").set(-3);
+        reg.histogram("h", &[1, 2]).record(2);
+        let mut snap = reg.snapshot();
+        assert_eq!(snap.counters[0].name, "a.first");
+        assert_eq!(snap.counters[1].name, "z.last");
+        assert_eq!(snap.gauges[0].value, -3);
+        assert_eq!(snap.histograms[0].buckets.len(), 3);
+
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+
+        let other = Registry::new();
+        other.counter("k.other").inc();
+        snap.extend(other.snapshot());
+        let names: Vec<&str> = snap.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["a.first", "k.other", "z.last"]);
+    }
+
+    #[test]
+    fn table_renders_all_sections() {
+        let reg = Registry::new();
+        reg.counter("c").add(3);
+        reg.gauge("g").set(9);
+        reg.histogram("h_us", &[10]).record(3);
+        let t = reg.snapshot().render_table();
+        assert!(t.contains("c"), "{t}");
+        assert!(t.lines().any(|l| l.starts_with("c ") && l.ends_with('3')), "{t}");
+        assert!(t.contains("<=10: 1"), "{t}");
+        // Empty histogram renders a placeholder, not garbage.
+        let reg2 = Registry::new();
+        reg2.histogram("empty", &[1]);
+        assert!(reg2.snapshot().render_table().contains("(empty)"));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let reg = Arc::new(Registry::new());
+        let c = reg.counter("mt");
+        let h = reg.histogram("mt_h", &[1_000]);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1_000 {
+                        c.inc();
+                        h.record(i);
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 4_000);
+        assert_eq!(h.count(), 4_000);
+    }
+}

@@ -81,6 +81,10 @@ where
     if workers <= 1 || in_worker() {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
+    let m = pool_metrics();
+    m.par_map_calls.inc();
+    m.par_map_items.add(n as u64);
+    let _span = pap_obs::span("pool", "par_map");
 
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
@@ -132,7 +136,41 @@ pub fn sequential<R>(f: impl FnOnce() -> R) -> R {
     out
 }
 
-type Task = Box<dyn FnOnce() + Send + 'static>;
+/// Cached handles into the global metrics registry. Resolved once; each
+/// task then costs a few relaxed atomic ops (submit, queue-wait, busy
+/// gauge, completion), taken only on the pool path — `par_map` grids pay a
+/// single per-call add.
+struct PoolMetrics {
+    submitted: pap_obs::Counter,
+    completed: pap_obs::Counter,
+    dropped: pap_obs::Counter,
+    queue_wait_us: pap_obs::Histogram,
+    workers_busy: pap_obs::Gauge,
+    par_map_calls: pap_obs::Counter,
+    par_map_items: pap_obs::Counter,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static M: OnceLock<PoolMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let reg = pap_obs::global();
+        PoolMetrics {
+            submitted: reg.counter("pool.tasks.submitted"),
+            completed: reg.counter("pool.tasks.completed"),
+            dropped: reg.counter("pool.tasks.dropped"),
+            queue_wait_us: reg.histogram(
+                "pool.queue_wait_us",
+                &[10, 100, 1_000, 10_000, 100_000, 1_000_000],
+            ),
+            workers_busy: reg.gauge("pool.workers_busy"),
+            par_map_calls: reg.counter("pool.par_map.calls"),
+            par_map_items: reg.counter("pool.par_map.items"),
+        }
+    })
+}
+
+/// A queued task plus its enqueue time (for the queue-wait histogram).
+type Task = (std::time::Instant, Box<dyn FnOnce() + Send + 'static>);
 
 struct PoolShared {
     queue: Mutex<PoolQueue>,
@@ -201,7 +239,16 @@ impl Pool {
                                 q = shared.task_ready.wait(q).expect("pool queue poisoned");
                             }
                         };
+                        let (enqueued, task) = task;
+                        let m = pool_metrics();
+                        m.queue_wait_us
+                            .record(enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                        m.workers_busy.add(1);
+                        let span = pap_obs::span("pool", "task");
                         task();
+                        drop(span);
+                        m.workers_busy.add(-1);
+                        m.completed.inc();
                     }
                 })
             })
@@ -219,8 +266,9 @@ impl Pool {
         if q.shutdown {
             return false;
         }
-        q.tasks.push_back(Box::new(f));
+        q.tasks.push_back((std::time::Instant::now(), Box::new(f)));
         drop(q);
+        pool_metrics().submitted.inc();
         self.shared.task_ready.notify_one();
         true
     }
@@ -248,6 +296,7 @@ impl Pool {
             q.run_backlog = run_backlog;
             if run_backlog { 0 } else { std::mem::take(&mut q.tasks).len() }
         };
+        pool_metrics().dropped.add(dropped as u64);
         self.shared.task_ready.notify_all();
         self.shared.slot_free.notify_all();
         for w in self.workers.drain(..) {
@@ -382,6 +431,21 @@ mod tests {
         let dropped = aborter.join().unwrap();
         assert_eq!(started.load(Ordering::Relaxed), 1, "backlog must not run after abort");
         assert_eq!(dropped, 10);
+    }
+
+    #[test]
+    fn pool_publishes_metrics() {
+        let m = pool_metrics();
+        let (sub0, comp0, wait0) =
+            (m.submitted.get(), m.completed.get(), m.queue_wait_us.count());
+        let pool = Pool::new(2, 8);
+        for _ in 0..5 {
+            assert!(pool.submit(|| {}));
+        }
+        pool.join();
+        assert!(m.submitted.get() >= sub0 + 5);
+        assert!(m.completed.get() >= comp0 + 5);
+        assert!(m.queue_wait_us.count() >= wait0 + 5);
     }
 
     #[test]

@@ -104,6 +104,16 @@ impl Client {
         }
     }
 
+    /// Fetch the generic metrics snapshot (server registry + process-global
+    /// library metrics).
+    pub fn metrics(&mut self) -> Result<pap_obs::MetricsSnapshot, String> {
+        match self.call(Request::Metrics)? {
+            Reply::Metrics(m) => Ok(m),
+            Reply::Error(e) => Err(format!("{:?}: {}", e.code, e.message)),
+            other => Err(format!("unexpected reply {other:?}")),
+        }
+    }
+
     /// Liveness probe.
     pub fn ping(&mut self) -> Result<(), String> {
         match self.call(Request::Ping)? {

@@ -44,6 +44,10 @@ pub enum Request {
     Query(QueryRequest),
     /// Fetch the server's observability counters.
     Stats,
+    /// Fetch the generic metrics snapshot (the server's `pap-obs` registry
+    /// plus process-global library metrics). Richer and more extensible
+    /// than [`Request::Stats`], which is kept for compatibility.
+    Metrics,
     /// Liveness probe.
     Ping,
     /// Ask the server to shut down gracefully (drain in-flight work).
@@ -90,6 +94,8 @@ pub enum Reply {
     Answer(QueryAnswer),
     /// Answer to a [`Request::Stats`].
     Stats(StatsReport),
+    /// Answer to a [`Request::Metrics`].
+    Metrics(pap_obs::MetricsSnapshot),
     /// Answer to a [`Request::Ping`].
     Pong,
     /// Acknowledgement of a [`Request::Shutdown`]; the server drains and
@@ -406,10 +412,24 @@ mod tests {
         let back = decode_request(line.trim_end()).unwrap();
         assert_eq!(back, env);
         // Unit-variant requests too.
-        for req in [Request::Stats, Request::Ping, Request::Shutdown] {
+        for req in [Request::Stats, Request::Metrics, Request::Ping, Request::Shutdown] {
             let env = RequestEnvelope { v: PROTO_VERSION, id: 7, req: req.clone() };
             assert_eq!(decode_request(encode_frame(&env).trim_end()).unwrap().req, req);
         }
+    }
+
+    #[test]
+    fn metrics_reply_round_trips() {
+        let reg = pap_obs::Registry::new();
+        reg.counter("x").add(3);
+        reg.histogram("h_us", &[10, 100]).record(42);
+        let env = ReplyEnvelope {
+            v: PROTO_VERSION,
+            id: 11,
+            reply: Reply::Metrics(reg.snapshot()),
+        };
+        let back = decode_reply(encode_frame(&env).trim_end()).unwrap();
+        assert_eq!(back, env);
     }
 
     #[test]

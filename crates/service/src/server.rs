@@ -337,6 +337,17 @@ fn serve_frame_inner(line: &[u8], ctx: &ConnCtx) -> ReplyEnvelope {
             ctx.stats.endpoint_stats();
             ReplyEnvelope { v: PROTO_VERSION, id, reply: Reply::Stats(ctx.stats.report()) }
         }
+        Request::Metrics => {
+            // Counted as a stats-endpoint hit: the legacy StatsReport shape
+            // has no dedicated field, and adding one would break its pinned
+            // wire layout.
+            ctx.stats.endpoint_stats();
+            ReplyEnvelope {
+                v: PROTO_VERSION,
+                id,
+                reply: Reply::Metrics(ctx.stats.metrics_snapshot()),
+            }
+        }
         Request::Ping => {
             ctx.stats.endpoint_ping();
             ReplyEnvelope { v: PROTO_VERSION, id, reply: Reply::Pong }

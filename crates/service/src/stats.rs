@@ -1,7 +1,21 @@
-//! Lock-free observability counters for `papd`.
+//! `papd` observability, published through the `pap-obs` metrics registry.
+//!
+//! Each [`Stats`] owns a private [`pap_obs::Registry`] (tests run several
+//! servers in one process, so the counters cannot be process-global) and
+//! caches one handle per metric; recording stays a single relaxed atomic
+//! op per event, exactly as the previous hand-rolled atomics were. The same
+//! registry feeds two wire shapes:
+//!
+//! * [`Stats::report`] — the legacy [`StatsReport`], byte-identical to the
+//!   pre-`pap-obs` output (the e2e suite pins it),
+//! * [`Stats::metrics_snapshot`] — the generic metrics snapshot served by
+//!   the `Metrics` endpoint, with the process-global registry (simulator,
+//!   pool, harness) appended.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
+
+use pap_obs::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 
 use crate::proto::{EndpointCounters, LatencyBucket, StatsReport, TierCounters};
 
@@ -10,33 +24,35 @@ use crate::proto::{EndpointCounters, LatencyBucket, StatsReport, TierCounters};
 pub const LATENCY_BOUNDS_US: [u64; 12] =
     [1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 5_000, 50_000];
 
-/// Shared counter block; every field is an independent atomic, so request
-/// handlers on different pool workers never contend on a lock to record.
+/// Per-server metric handles; every recording is an independent relaxed
+/// atomic, so request handlers on different pool workers never contend on a
+/// lock to record.
 pub struct Stats {
     started: Instant,
-    connections: AtomicU64,
-    frames: AtomicU64,
-    query: AtomicU64,
-    stats: AtomicU64,
-    ping: AtomicU64,
-    shutdown: AtomicU64,
-    error: AtomicU64,
-    l1_hits: AtomicU64,
-    l2_exact: AtomicU64,
-    l2_near: AtomicU64,
-    miss: AtomicU64,
-    refines_scheduled: AtomicU64,
-    refines_applied: AtomicU64,
-    refines_dropped: AtomicU64,
-    latency: [AtomicU64; LATENCY_BOUNDS_US.len() + 1],
-    /// Current L1 entry count, maintained by the store.
-    pub l1_entries: AtomicUsize,
-    /// Current L2 cell count, maintained by the store.
-    pub l2_cells: AtomicUsize,
+    registry: Registry,
+    connections: Counter,
+    frames: Counter,
+    query: Counter,
+    stats: Counter,
+    ping: Counter,
+    shutdown: Counter,
+    error: Counter,
+    l1_hits: Counter,
+    l2_exact: Counter,
+    l2_near: Counter,
+    miss: Counter,
+    refines_scheduled: Counter,
+    refines_applied: Counter,
+    refines_dropped: Counter,
+    latency: Histogram,
+    /// Current L1 entry count, maintained by the store (`.set(n)`).
+    pub l1_entries: Gauge,
+    /// Current L2 cell count, maintained by the store (`.set(n)`).
+    pub l2_cells: Gauge,
     /// Whether the L2 store was seeded from a snapshot file.
-    pub snapshot_loaded: std::sync::atomic::AtomicBool,
+    pub snapshot_loaded: AtomicBool,
     /// Whether a tuning sweep ran at startup.
-    pub tuned_at_startup: std::sync::atomic::AtomicBool,
+    pub tuned_at_startup: AtomicBool,
 }
 
 impl Default for Stats {
@@ -49,35 +65,37 @@ macro_rules! bump {
     ($($fn_name:ident => $field:ident),* $(,)?) => {$(
         #[doc = concat!("Increment the `", stringify!($field), "` counter.")]
         pub fn $fn_name(&self) {
-            self.$field.fetch_add(1, Ordering::Relaxed);
+            self.$field.inc();
         }
     )*};
 }
 
 impl Stats {
-    /// Fresh counter block; uptime starts now.
+    /// Fresh metric block; uptime starts now.
     pub fn new() -> Self {
+        let registry = Registry::new();
         Stats {
             started: Instant::now(),
-            connections: AtomicU64::new(0),
-            frames: AtomicU64::new(0),
-            query: AtomicU64::new(0),
-            stats: AtomicU64::new(0),
-            ping: AtomicU64::new(0),
-            shutdown: AtomicU64::new(0),
-            error: AtomicU64::new(0),
-            l1_hits: AtomicU64::new(0),
-            l2_exact: AtomicU64::new(0),
-            l2_near: AtomicU64::new(0),
-            miss: AtomicU64::new(0),
-            refines_scheduled: AtomicU64::new(0),
-            refines_applied: AtomicU64::new(0),
-            refines_dropped: AtomicU64::new(0),
-            latency: std::array::from_fn(|_| AtomicU64::new(0)),
-            l1_entries: AtomicUsize::new(0),
-            l2_cells: AtomicUsize::new(0),
-            snapshot_loaded: std::sync::atomic::AtomicBool::new(false),
-            tuned_at_startup: std::sync::atomic::AtomicBool::new(false),
+            connections: registry.counter("papd.connections"),
+            frames: registry.counter("papd.frames"),
+            query: registry.counter("papd.endpoint.query"),
+            stats: registry.counter("papd.endpoint.stats"),
+            ping: registry.counter("papd.endpoint.ping"),
+            shutdown: registry.counter("papd.endpoint.shutdown"),
+            error: registry.counter("papd.endpoint.error"),
+            l1_hits: registry.counter("papd.tier.l1_hits"),
+            l2_exact: registry.counter("papd.tier.l2_exact"),
+            l2_near: registry.counter("papd.tier.l2_near"),
+            miss: registry.counter("papd.tier.miss"),
+            refines_scheduled: registry.counter("papd.refines.scheduled"),
+            refines_applied: registry.counter("papd.refines.applied"),
+            refines_dropped: registry.counter("papd.refines.dropped"),
+            latency: registry.histogram("papd.request_latency_us", &LATENCY_BOUNDS_US),
+            l1_entries: registry.gauge("papd.l1_entries"),
+            l2_cells: registry.gauge("papd.l2_cells"),
+            snapshot_loaded: AtomicBool::new(false),
+            tuned_at_startup: AtomicBool::new(false),
+            registry,
         }
     }
 
@@ -100,43 +118,56 @@ impl Stats {
 
     /// Record one request's handling latency in the fixed-bucket histogram.
     pub fn record_latency(&self, elapsed: Duration) {
-        let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
-        let idx = LATENCY_BOUNDS_US.iter().position(|&b| us <= b).unwrap_or(LATENCY_BOUNDS_US.len());
-        self.latency[idx].fetch_add(1, Ordering::Relaxed);
+        self.latency.record(elapsed.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// This server's registry (the `Metrics` endpoint snapshots it).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Generic metrics snapshot: this server's registry plus the
+    /// process-global one (simulator / pool / harness metrics).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.registry.snapshot();
+        snap.extend(pap_obs::global().snapshot());
+        snap
     }
 
     /// Snapshot every counter into a wire-serializable report.
     pub fn report(&self) -> StatsReport {
         let mut latency: Vec<LatencyBucket> = LATENCY_BOUNDS_US
             .iter()
-            .enumerate()
-            .map(|(i, &le_us)| LatencyBucket { le_us, count: self.latency[i].load(Ordering::Relaxed) })
+            .map(|&le_us| LatencyBucket {
+                le_us,
+                count: self.latency.bucket_count(le_us).expect("bound registered"),
+            })
             .collect();
         latency.push(LatencyBucket {
             le_us: u64::MAX,
-            count: self.latency[LATENCY_BOUNDS_US.len()].load(Ordering::Relaxed),
+            count: self.latency.bucket_count(u64::MAX).expect("overflow bucket exists"),
         });
         StatsReport {
             endpoints: EndpointCounters {
-                query: self.query.load(Ordering::Relaxed),
-                stats: self.stats.load(Ordering::Relaxed),
-                ping: self.ping.load(Ordering::Relaxed),
-                shutdown: self.shutdown.load(Ordering::Relaxed),
-                error: self.error.load(Ordering::Relaxed),
+                query: self.query.get(),
+                stats: self.stats.get(),
+                ping: self.ping.get(),
+                shutdown: self.shutdown.get(),
+                error: self.error.get(),
             },
             tiers: TierCounters {
-                l1_hits: self.l1_hits.load(Ordering::Relaxed),
-                l2_exact: self.l2_exact.load(Ordering::Relaxed),
-                l2_near: self.l2_near.load(Ordering::Relaxed),
-                miss: self.miss.load(Ordering::Relaxed),
-                refines_scheduled: self.refines_scheduled.load(Ordering::Relaxed),
-                refines_applied: self.refines_applied.load(Ordering::Relaxed),
-                refines_dropped: self.refines_dropped.load(Ordering::Relaxed),
+                l1_hits: self.l1_hits.get(),
+                l2_exact: self.l2_exact.get(),
+                l2_near: self.l2_near.get(),
+                miss: self.miss.get(),
+                refines_scheduled: self.refines_scheduled.get(),
+                refines_applied: self.refines_applied.get(),
+                refines_dropped: self.refines_dropped.get(),
             },
-            connections: self.connections.load(Ordering::Relaxed),
-            frames: self.frames.load(Ordering::Relaxed),
-            l2_cells: self.l2_cells.load(Ordering::Relaxed),
-            l1_entries: self.l1_entries.load(Ordering::Relaxed),
+            connections: self.connections.get(),
+            frames: self.frames.get(),
+            l2_cells: self.l2_cells.get().max(0) as usize,
+            l1_entries: self.l1_entries.get().max(0) as usize,
             snapshot_loaded: self.snapshot_loaded.load(Ordering::Relaxed),
             tuned_at_startup: self.tuned_at_startup.load(Ordering::Relaxed),
             uptime_s: self.started.elapsed().as_secs_f64(),
@@ -181,5 +212,31 @@ mod tests {
         assert_eq!(le10.count, 1);
         assert_eq!(r.latency.last().unwrap().le_us, u64::MAX);
         assert_eq!(r.latency.last().unwrap().count, 1);
+    }
+
+    #[test]
+    fn servers_have_independent_registries() {
+        let a = Stats::new();
+        let b = Stats::new();
+        a.connection();
+        assert_eq!(a.report().connections, 1);
+        assert_eq!(b.report().connections, 0, "stats must be per-server, not process-global");
+    }
+
+    #[test]
+    fn metrics_snapshot_includes_own_and_global_metrics() {
+        let s = Stats::new();
+        s.endpoint_query();
+        s.l2_cells.set(13);
+        // Touch a global metric so the merged snapshot provably spans both.
+        pap_obs::global().counter("papd.test.global_marker").inc();
+        let snap = s.metrics_snapshot();
+        let counter =
+            |name: &str| snap.counters.iter().find(|c| c.name == name).map(|c| c.value);
+        assert_eq!(counter("papd.endpoint.query"), Some(1));
+        assert!(counter("papd.test.global_marker").unwrap_or(0) >= 1);
+        let gauge = snap.gauges.iter().find(|g| g.name == "papd.l2_cells").unwrap();
+        assert_eq!(gauge.value, 13);
+        assert!(snap.histograms.iter().any(|h| h.name == "papd.request_latency_us"));
     }
 }

@@ -15,7 +15,6 @@
 //!   generation change while it ran is dropped, never applied stale.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex, RwLock};
 
 use pap_arrival::{classify_delays, Shape};
@@ -157,7 +156,7 @@ impl TierStore {
                 },
             );
         }
-        self.stats.l2_cells.store(l2.len(), Ordering::Relaxed);
+        self.stats.l2_cells.set(l2.len() as i64);
     }
 
     /// Seed L2 from a warm-restart snapshot.
@@ -180,7 +179,7 @@ impl TierStore {
                 },
             );
         }
-        self.stats.l2_cells.store(l2.len(), Ordering::Relaxed);
+        self.stats.l2_cells.set(l2.len() as i64);
     }
 
     /// Number of L2 cells currently held.
@@ -316,7 +315,7 @@ impl TierStore {
                 backend: backend.to_string(),
                 generation,
             });
-            self.stats.l2_cells.store(l2.len(), Ordering::Relaxed);
+            self.stats.l2_cells.set(l2.len() as i64);
         }
         let refine = self.refine_enabled
             && backend != Backend::Sim
@@ -404,7 +403,7 @@ impl TierStore {
     fn invalidate_l1(&self, key: &CellKey) {
         let mut l1 = self.l1.lock().expect("l1 lock");
         l1.retain(|_, entry| entry.evidence != *key);
-        self.stats.l1_entries.store(l1.len(), Ordering::Relaxed);
+        self.stats.l1_entries.set(l1.len() as i64);
     }
 
     fn l1_lookup(&self, key: &L1Key) -> Option<L1Entry> {
@@ -421,7 +420,7 @@ impl TierStore {
     fn l1_insert(&self, key: L1Key, entry: L1Entry) {
         let mut l1 = self.l1.lock().expect("l1 lock");
         l1.insert(key, entry);
-        self.stats.l1_entries.store(l1.len(), Ordering::Relaxed);
+        self.stats.l1_entries.set(l1.len() as i64);
     }
 
     /// Exact L2 lookup, then nearest message size in log-space among cells

@@ -363,9 +363,21 @@ pub fn run(platform: &Platform, job: Job, cfg: &SimConfig) -> Result<RunOutcome,
     run_ref(platform, &job, cfg)
 }
 
+/// Cached handles into the global metrics registry — resolved once so the
+/// per-run cost is three relaxed atomic adds, never the registry lock.
+fn run_metrics() -> &'static (pap_obs::Counter, pap_obs::Counter, pap_obs::Counter) {
+    static M: std::sync::OnceLock<(pap_obs::Counter, pap_obs::Counter, pap_obs::Counter)> =
+        std::sync::OnceLock::new();
+    M.get_or_init(|| {
+        let reg = pap_obs::global();
+        (reg.counter("sim.runs"), reg.counter("sim.events"), reg.counter("sim.messages"))
+    })
+}
+
 /// [`run`] without consuming the job — repetition loops (ReproMPI-style
 /// NREP) build the program once and run it many times with different seeds.
 pub fn run_ref(platform: &Platform, job: &Job, cfg: &SimConfig) -> Result<RunOutcome, SimError> {
+    let _span = pap_obs::span("sim", "run");
     let p = job.ranks();
     if p == 0 {
         return Err(SimError::InvalidProgram("job has no ranks".into()));
@@ -428,6 +440,10 @@ pub fn run_ref(platform: &Platform, job: &Job, cfg: &SimConfig) -> Result<RunOut
         None
     };
     let msg_events = if cfg.record_messages { Some(eng.msg_events) } else { None };
+    let (runs, events, messages) = run_metrics();
+    runs.inc();
+    events.add(eng.events);
+    messages.add(eng.messages);
     Ok(RunOutcome {
         finish: eng.finish,
         phases: eng.phases,

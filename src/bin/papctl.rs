@@ -11,7 +11,9 @@
 //!              [--ranks N] [--policy P] [--l1 N] [--refine-threads N] [--no-tune]
 //! papctl query <machine> <collective> <bytes> --addr HOST:PORT [--ranks N]
 //!              [--arrivals d0,d1,…] [--json]
-//! papctl query --addr HOST:PORT {--stats|--ping|--shutdown}
+//! papctl query --addr HOST:PORT {--stats|--metrics|--ping|--shutdown}
+//! papctl profile <collective> [--pattern S] [--machine M] [--ranks N] [--bytes B]
+//!                [--alg A] [--skew-us X] [--seed N] [--out FILE] [--check]
 //! papctl ft    <machine> [--ranks N] [--alg A] [--iters N]
 //! papctl trace <machine> [--ranks N]                       # FT pattern in file format
 //! papctl lint  [--json] [--ranks 8,12,32] [--eager BYTES]  # static registry sweep
@@ -23,6 +25,14 @@
 //! resolves every cell through the event-driven simulator, `model` through
 //! the closed-form analytical cost models of `pap-model` (orders of
 //! magnitude faster; cross-validated by the differential test suite).
+//!
+//! `profile` renders one simulated collective run under an arrival pattern
+//! as a Perfetto-loadable Chrome Trace Event file (open in
+//! <https://ui.perfetto.dev>): one lane per rank, arrival→exit spans, and a
+//! flow arrow per point-to-point message. `bench`/`sweep`/`tune`/`profile`
+//! accept `--metrics`, which enables span recording and prints the
+//! process-global metrics snapshot to stderr on exit; `query --metrics`
+//! fetches the same snapshot from a running daemon.
 //!
 //! `tune --out FILE` writes the full evidence snapshot (decisions + their
 //! benchmark matrices) in the format `papctl serve --snapshot FILE` loads
@@ -39,7 +49,7 @@ use pap::collectives::{CollSpec, CollectiveKind};
 use pap::core::report::render_normalized_table;
 use pap::core::{select, tune_machine, BenchMatrix, SelectionPolicy, TunePlan};
 use pap::lint::{sweep_registry, SweepConfig};
-use pap::microbench::{measure, sweep, Backend, BenchConfig, SkewPolicy};
+use pap::microbench::{measure, profile, sweep, Backend, BenchConfig, SkewPolicy};
 use pap::service::{Client, DefaultPolicy, QueryRequest, ServeConfig, Server, Snapshot};
 use pap::sim::{MachineId, Platform};
 use pap::tracer::{ideal_observer, CollectiveTrace, TracerConfig};
@@ -114,6 +124,14 @@ fn main() -> ExitCode {
     if threads > 0 {
         pap::parallel::set_threads(threads);
     }
+    // `--metrics` on a local measurement command: enable span recording for
+    // the run and print the process-global metrics snapshot on the way out.
+    // (`query --metrics` is a daemon endpoint instead; see cmd_query.)
+    let local_metrics =
+        args.has("metrics") && matches!(cmd.as_str(), "bench" | "sweep" | "tune" | "profile");
+    if local_metrics {
+        pap::obs::set_enabled(true);
+    }
     let result = match cmd.as_str() {
         "machines" => machines(),
         "algorithms" => cmd_algorithms(&args),
@@ -121,6 +139,7 @@ fn main() -> ExitCode {
         "bench" => cmd_bench(&args),
         "sweep" => cmd_sweep(&args),
         "tune" => cmd_tune(&args),
+        "profile" => cmd_profile(&args),
         "serve" => cmd_serve(&args),
         "query" => cmd_query(&args),
         "ft" => cmd_ft(&args),
@@ -132,6 +151,9 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command '{other}'\n{USAGE}")),
     };
+    if local_metrics {
+        eprint!("{}", pap::obs::global().snapshot().render_table());
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -141,13 +163,16 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: papctl <machines|algorithms|pattern|bench|sweep|tune|serve|query|ft|trace|lint|help> …
+const USAGE: &str = "usage: papctl <machines|algorithms|pattern|bench|sweep|tune|profile|serve|query|ft|trace|lint|help> …
 global flags: --threads N   worker threads for sweep/tune fan-out
                             (default: PAP_THREADS env, else all cores; 1 = sequential);
                             for `serve`, also the connection-pool size
 bench/sweep/tune flags: --backend {sim,model}
                             sim   = event-driven simulator (default)
                             model = closed-form analytical LogGP models
+bench/sweep/tune/profile:
+             --metrics      record spans and print the metrics snapshot to
+                            stderr when the command finishes
 sweep flags: --json         print the benchmark matrix as JSON instead of the table
 tune flags: --out FILE      also write the evidence snapshot (decisions + matrices)
                             that `papctl serve --snapshot FILE` warm-starts from
@@ -165,7 +190,17 @@ query flags: --addr A       daemon address (required; printed by `papctl serve`)
              --ranks N      rank count (default 16)
              --arrivals CSV per-rank arrival samples, e.g. 0,0.2,1.5e-3
              --json         print the raw answer/stats JSON
-             --stats | --ping | --shutdown   control endpoints (no positionals)
+             --stats | --metrics | --ping | --shutdown   control endpoints (no positionals)
+profile flags: --pattern S  arrival-pattern shape (default imbalanced-linear,
+                            an alias for ascending; hyphens ≡ underscores)
+             --machine M    machine preset (default simcluster)
+             --ranks N      rank count (default 16)
+             --bytes B      message size (default 1024)
+             --alg A        algorithm id (default: first experiment id)
+             --skew-us X    max skew; default 1.5x the algorithm's
+                            undelayed runtime
+             --out FILE     trace file (default trace.json; open in Perfetto)
+             --check        re-read and validate the written trace
 lint flags: --json          machine-readable SweepSummary document
             --ranks A,B,C   rank counts to sweep (default 8,12,32)
             --eager BYTES   eager threshold for the protocol analysis (default 16384)
@@ -330,6 +365,65 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_profile(args: &Args) -> Result<(), String> {
+    let kind: CollectiveKind = args.pos(0)?.parse()?;
+    let machine: MachineId = args.flag("machine", "simcluster".to_string()).parse()?;
+    let ranks = args.flag("ranks", 16usize);
+    let platform = Platform::preset(machine, ranks);
+    let alg = match args.opt("alg") {
+        Some(a) => a.parse().map_err(|_| "alg must be a number")?,
+        None => match experiment_ids(kind).first() {
+            Some(id) => *id,
+            // Not every collective is in the paper's experiment set; fall
+            // back to the first registered algorithm.
+            None => {
+                algorithms(kind)
+                    .first()
+                    .ok_or_else(|| format!("{kind} has no registered algorithms"))?
+                    .id
+            }
+        },
+    };
+    let bytes = args.flag("bytes", 1024u64);
+    let shape: Shape = args.flag("pattern", "imbalanced-linear".to_string()).parse()?;
+    let seed = args.flag("seed", 1u64);
+    let spec = CollSpec::new(kind, alg, bytes);
+
+    // Default skew: 1.5x the algorithm's undelayed runtime, so the injected
+    // imbalance shows at the same scale as the collective itself.
+    let skew_s = match args.opt("skew-us") {
+        Some(v) => v.parse::<f64>().map_err(|_| "skew-us must be a number")? * 1e-6,
+        None => {
+            let baseline = generate(Shape::NoDelay, ranks, 0.0, seed);
+            let st = measure(&platform, &spec, &baseline, &BenchConfig::simulation())
+                .map_err(|e| e.to_string())?;
+            st.mean_total() * 1.5
+        }
+    };
+    let pattern = generate(shape, ranks, skew_s, seed);
+    let prof = profile(&platform, &spec, &pattern, seed).map_err(|e| e.to_string())?;
+
+    let out = args.flag("out", "trace.json".to_string());
+    prof.trace.save(std::path::Path::new(&out)).map_err(|e| format!("write {out}: {e}"))?;
+    println!(
+        "profiled {kind} A{alg} {bytes} B on {} ({} ranks), pattern {} (skew {:.1} us): \
+         d̂ {:.3} ms, d* {:.3} ms, {} messages -> {out}",
+        platform.machine,
+        prof.ranks,
+        pattern.name,
+        skew_s * 1e6,
+        prof.d_hat * 1e3,
+        prof.d_star * 1e3,
+        prof.messages,
+    );
+    if args.has("check") {
+        let json = std::fs::read_to_string(&out).map_err(|e| format!("read back {out}: {e}"))?;
+        let stats = pap::obs::validate_trace(&json)?;
+        println!("trace OK: {}", pap::obs::chrome::describe(&stats));
+    }
+    Ok(())
+}
+
 fn cmd_serve(args: &Args) -> Result<(), String> {
     let defaults = ServeConfig::default();
     let cfg = ServeConfig {
@@ -375,6 +469,15 @@ fn cmd_query(args: &Args) -> Result<(), String> {
             println!("{}", serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?);
         } else {
             print!("{}", report.render_table());
+        }
+        return Ok(());
+    }
+    if args.has("metrics") {
+        let snap = client.metrics()?;
+        if json {
+            println!("{}", serde_json::to_string_pretty(&snap).map_err(|e| e.to_string())?);
+        } else {
+            print!("{}", snap.render_table());
         }
         return Ok(());
     }

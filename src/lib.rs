@@ -23,6 +23,9 @@
 //! * [`apps`] — NAS-FT proxy and other mini-apps
 //! * [`core`] — the paper's contribution: robustness analysis and
 //!   arrival-aware algorithm selection
+//! * [`obs`] — low-overhead observability: atomic-gated span tracing,
+//!   unified metrics registry, Perfetto (Chrome Trace Event) export
+//!   (`papctl profile`, `--metrics`)
 //! * [`lint`] — zero-execution static schedule verifier (`papctl lint`):
 //!   message matching, deadlock/protocol-fragility, tag conflicts, request
 //!   lifecycle, slot dataflow
@@ -44,6 +47,7 @@ pub use pap_core as core;
 pub use pap_lint as lint;
 pub use pap_microbench as microbench;
 pub use pap_model as model;
+pub use pap_obs as obs;
 pub use pap_parallel as parallel;
 pub use pap_service as service;
 pub use pap_sim as sim;
