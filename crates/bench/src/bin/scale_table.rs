@@ -1,0 +1,114 @@
+//! Engine scalability probe: one collective run at p ∈ {1K, 10K, 100K},
+//! reporting wall time, event throughput and peak memory. Backs
+//! `BENCH_engine_scale.json` and the CI rank-scaling summary table.
+//!
+//! Usage: `scale_table [max_ranks] [--json]`
+//!   `max_ranks` caps the grid (default 102400; CI smoke passes 1024).
+
+use std::time::Instant;
+
+use pap_collectives::{build, CollSpec, CollectiveKind};
+use pap_sim::{run_ref, Job, Platform, RankProgram, SimConfig};
+
+/// SimCluster scaled out to `ranks` (presets grow nodes synthetically).
+fn scaled_simcluster(ranks: usize) -> Platform {
+    Platform::simcluster(ranks)
+}
+
+/// Peak resident set size of this process in MiB (Linux VmHWM).
+fn peak_rss_mib() -> f64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find(|l| l.starts_with("VmHWM:")).and_then(|l| {
+                l.split_whitespace().nth(1).and_then(|v| v.parse::<f64>().ok())
+            })
+        })
+        .map_or(f64::NAN, |kib| kib / 1024.0)
+}
+
+struct Row {
+    ranks: usize,
+    workload: &'static str,
+    wall_s: f64,
+    events: u64,
+    messages: u64,
+    events_per_s: f64,
+    peak_rss_mib: f64,
+}
+
+fn run_cell(platform: &Platform, spec: &CollSpec, workload: &'static str, reps: usize) -> Row {
+    let p = platform.ranks;
+    let built = build(spec, p).expect("build collective");
+    let programs: Vec<RankProgram> = built.rank_ops.into_iter().map(RankProgram::from_ops).collect();
+    let job = Job::new(programs);
+    let cfg = SimConfig::default();
+    // Warm-up run (page in allocator arenas), then timed reps.
+    let out = run_ref(platform, &job, &cfg).expect("run");
+    let start = Instant::now();
+    for _ in 0..reps {
+        run_ref(platform, &job, &cfg).expect("run");
+    }
+    let wall_s = start.elapsed().as_secs_f64() / reps as f64;
+    Row {
+        ranks: p,
+        workload,
+        wall_s,
+        events: out.events,
+        messages: out.messages,
+        events_per_s: out.events as f64 / wall_s,
+        peak_rss_mib: peak_rss_mib(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let max_ranks: usize = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(102_400);
+
+    let mut rows = Vec::new();
+    for &p in &[1_024usize, 10_240, 102_400] {
+        if p > max_ranks {
+            continue;
+        }
+        let platform = scaled_simcluster(p);
+        let reps = if p >= 100_000 { 1 } else { std::env::var("PAP_REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(3) };
+        rows.push(run_cell(
+            &platform,
+            &CollSpec::new(CollectiveKind::Allreduce, 3, 8 * 1024),
+            "allreduce_rdb_8KiB",
+            reps,
+        ));
+        rows.push(run_cell(
+            &platform,
+            &CollSpec::new(CollectiveKind::Bcast, 5, 1024),
+            "bcast_binomial_1KiB",
+            reps,
+        ));
+    }
+
+    if json {
+        println!("[");
+        for (i, r) in rows.iter().enumerate() {
+            let comma = if i + 1 < rows.len() { "," } else { "" };
+            println!(
+                "  {{\"ranks\": {}, \"workload\": \"{}\", \"wall_s\": {:.6}, \"events\": {}, \"messages\": {}, \"events_per_s\": {:.0}, \"peak_rss_mib\": {:.1}}}{}",
+                r.ranks, r.workload, r.wall_s, r.events, r.messages, r.events_per_s, r.peak_rss_mib, comma
+            );
+        }
+        println!("]");
+    } else {
+        println!("| ranks | workload | wall (s) | events | messages | events/s | peak RSS (MiB) |");
+        println!("|---|---|---|---|---|---|---|");
+        for r in &rows {
+            println!(
+                "| {} | {} | {:.4} | {} | {} | {:.2e} | {:.1} |",
+                r.ranks, r.workload, r.wall_s, r.events, r.messages, r.events_per_s, r.peak_rss_mib
+            );
+        }
+    }
+}

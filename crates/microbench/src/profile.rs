@@ -101,6 +101,7 @@ pub fn profile(
         track_data: false,
         noise: NoiseModel::None,
         record_messages: true,
+        ..SimConfig::default()
     };
     let out = run_ref(platform, &job, &sim_cfg)?;
 

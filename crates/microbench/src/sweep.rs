@@ -176,6 +176,10 @@ pub fn sweep(
             Pat::Extra(extra) => (extra.name.clone(), std::borrow::Cow::Borrowed(*extra)),
         };
         let stats = measure(platform, &spec, &pattern, &run_cfg)?;
+        // Stream completed spans out of the bounded rings between cells; a
+        // long sweep would otherwise overflow them before a final drain.
+        // No-op (one uncontended lock) unless a span stream is installed.
+        pap_obs::pump_spans();
         Ok::<_, BenchError>(SweepCell { alg, pattern: name, skew: pattern.max_skew(), stats })
     });
     let cells = runs.into_iter().collect::<Result<Vec<_>, _>>()?;

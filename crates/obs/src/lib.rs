@@ -43,7 +43,9 @@ pub use chrome::{validate_trace, ChromeTrace, TraceEvent, TraceStats};
 pub use metrics::{
     global, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
 };
-pub use trace::{drain_spans, span, SpanGuard, SpanRecord};
+pub use trace::{
+    drain_spans, pump_spans, set_span_stream, span, SpanGuard, SpanRecord, SpanSink,
+};
 
 /// Process-wide span-capture gate. Relaxed is sufficient: observers only
 /// need *eventual* agreement, and a span started just before `set_enabled`

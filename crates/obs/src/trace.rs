@@ -159,6 +159,42 @@ pub fn dropped_spans() -> u64 {
     DROPPED.swap(0, Ordering::Relaxed)
 }
 
+/// A streaming span consumer: called with each drained batch, oldest-first.
+pub type SpanSink = Box<dyn FnMut(&[SpanRecord]) + Send>;
+
+static STREAM: Mutex<Option<SpanSink>> = Mutex::new(None);
+
+/// Install (or, with `None`, remove) the process-wide streaming span sink.
+///
+/// Rings hold only the most recent [`RING_CAPACITY`] records per thread: a
+/// long sweep or tune overflows them long before it finishes, and a single
+/// end-of-run [`drain_spans`] would silently present the tail. A streaming
+/// sink plus periodic [`pump_spans`] calls inside the long loop moves
+/// completed spans out of the rings while they are still complete.
+///
+/// Returns the previously installed sink so callers can restore it.
+pub fn set_span_stream(sink: Option<SpanSink>) -> Option<SpanSink> {
+    std::mem::replace(&mut STREAM.lock().expect("span stream poisoned"), sink)
+}
+
+/// Drain every ring into the installed streaming sink; a no-op (that leaves
+/// the rings untouched) when no sink is installed. Returns the number of
+/// spans forwarded.
+///
+/// Cheap enough for long loops: without a sink this is one mutex lock; with
+/// one it is the same work a [`drain_spans`] call would do at the end.
+pub fn pump_spans() -> usize {
+    let mut stream = STREAM.lock().expect("span stream poisoned");
+    let Some(sink) = stream.as_mut() else {
+        return 0;
+    };
+    let spans = drain_spans();
+    if !spans.is_empty() {
+        sink(&spans);
+    }
+    spans.len()
+}
+
 #[cfg(test)]
 pub(crate) static TEST_GATE: Mutex<()> = Mutex::new(());
 
@@ -225,6 +261,57 @@ mod tests {
         assert_eq!(ours.len(), 4, "spans of finished threads must survive until drain");
         let threads: std::collections::HashSet<u64> = ours.iter().map(|s| s.thread).collect();
         assert_eq!(threads.len(), 4, "each thread gets its own lane id");
+    }
+
+    #[test]
+    fn span_stream_receives_pumped_batches() {
+        let _g = guard();
+        crate::set_enabled(true);
+        drain_spans();
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&got);
+        let prev = set_span_stream(Some(Box::new(move |batch: &[SpanRecord]| {
+            sink.lock().unwrap().extend(batch.iter().copied());
+        })));
+        {
+            let _s = span("test_stream", "a");
+        }
+        let n1 = pump_spans();
+        assert!(n1 >= 1, "first pump must forward the recorded span");
+        {
+            let _s = span("test_stream", "b");
+        }
+        let n2 = pump_spans();
+        assert!(n2 >= 1);
+        set_span_stream(prev);
+        crate::set_enabled(false);
+        let names: Vec<&str> = got
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|s| s.cat == "test_stream")
+            .map(|s| s.name)
+            .collect();
+        assert_eq!(names, vec!["a", "b"], "batches arrive incrementally, in order");
+        // Pumped spans are gone from the rings: nothing left to drain.
+        assert!(drain_spans().iter().all(|s| s.cat != "test_stream"));
+    }
+
+    #[test]
+    fn pump_without_sink_leaves_rings_untouched() {
+        let _g = guard();
+        crate::set_enabled(true);
+        drain_spans();
+        {
+            let _s = span("test_nosink", "kept");
+        }
+        assert_eq!(pump_spans(), 0, "no sink installed: nothing forwarded");
+        crate::set_enabled(false);
+        let spans = drain_spans();
+        assert!(
+            spans.iter().any(|s| s.cat == "test_nosink"),
+            "span must still be in the ring after a sink-less pump"
+        );
     }
 
     #[test]

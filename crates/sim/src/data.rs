@@ -122,7 +122,7 @@ pub type BlockCoord = (u32, u32);
 ///
 /// Filters act on the *index* part of the coordinate (`coord.1`): the segment
 /// for reductions, the destination rank for all-to-all blocks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BlockFilter {
     /// Keep every block.
     All,

@@ -1,0 +1,88 @@
+//! Conservative-lookahead lockstep driver for partitioned runs.
+//!
+//! Each worker thread owns one [`Part`] and repeats synchronized rounds:
+//!
+//! 1. **Report** — publish the partition's next event time and error flag;
+//!    after a barrier, every worker computes the identical global window
+//!    start `W = min(next_t)` (and whether any partition errored) from the
+//!    same reports.
+//! 2. **Advance** — process all local events with `t < W + Δ`, where the
+//!    lookahead `Δ` is the inter-node link latency. Any message effect
+//!    crossing partitions is at least one inter-node hop away, so nothing a
+//!    peer does in this window can schedule an event before `W + Δ`:
+//!    processing the window locally is safe.
+//! 3. **Exchange** — publish per-target handoff lists; after a barrier,
+//!    apply inbound handoffs in source-partition order. Applying announces
+//!    can emit rendezvous replies (`InjectAt`), which go through a second
+//!    publish/apply phase.
+//!
+//! The loop ends when every partition is idle (`W = ∞`) or any partition
+//! stopped on an error — both decisions are computed by every worker from
+//! identical data, so all workers leave together.
+//!
+//! Determinism: within a window each partition pops events in the canonical
+//! key order (see [`super::queue`]), all cross-partition effects carry
+//! explicit timestamps computed by the owning side, and handoffs are applied
+//! in a fixed order — so the set of (event key → state change) pairs is
+//! exactly the sequential one. See DESIGN.md §12 for the full argument.
+
+use std::sync::{Barrier, Mutex};
+
+use super::part::{Handoff, Part};
+
+/// Advance all partitions to completion in lockstep windows of `horizon`
+/// seconds of lookahead. Returns the partitions with their results.
+pub(super) fn drive(parts: Vec<Part<'_>>, horizon: f64) -> Vec<Part<'_>> {
+    let n = parts.len();
+    debug_assert!(n > 1);
+    debug_assert!(horizon.is_finite() && horizon > 0.0);
+    let slots: Vec<Mutex<Part>> = parts.into_iter().map(Mutex::new).collect();
+    let reports: Vec<Mutex<(f64, bool)>> = (0..n).map(|_| Mutex::new((0.0, false))).collect();
+    let published: Vec<Mutex<Vec<Vec<Handoff>>>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
+    let replies: Vec<Mutex<Vec<Vec<Handoff>>>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
+    let barrier = Barrier::new(n);
+
+    pap_parallel::lockstep(n, |i| {
+        let mut part = slots[i].lock().expect("partition lock");
+        loop {
+            *reports[i].lock().expect("report lock") = (part.next_time(), part.has_error());
+            barrier.wait();
+            let mut w = f64::INFINITY;
+            let mut any_err = false;
+            for r in &reports {
+                let (t, e) = *r.lock().expect("report lock");
+                w = w.min(t);
+                any_err |= e;
+            }
+            // Identical inputs → identical decision on every worker. No
+            // barrier needed before the next report write: it happens after
+            // the three barriers below, which everyone still in the loop
+            // must reach first.
+            if any_err || w == f64::INFINITY {
+                break;
+            }
+
+            part.run_until(w + horizon);
+
+            *published[i].lock().expect("publish lock") = part.take_outbox();
+            barrier.wait();
+            for src in &published {
+                let h = std::mem::take(&mut src.lock().expect("publish lock")[i]);
+                if !h.is_empty() {
+                    part.apply(h);
+                }
+            }
+            *replies[i].lock().expect("reply lock") = part.take_aux();
+            barrier.wait();
+            for src in &replies {
+                let h = std::mem::take(&mut src.lock().expect("reply lock")[i]);
+                if !h.is_empty() {
+                    part.apply(h);
+                }
+            }
+            barrier.wait();
+        }
+    });
+
+    slots.into_iter().map(|m| m.into_inner().expect("partition lock")).collect()
+}

@@ -1,0 +1,1531 @@
+//! One rank partition of a simulation run.
+//!
+//! [`Part`] is the execution core: it owns a contiguous, node-aligned range
+//! of ranks `[r0, r1)` and processes their events in canonical key order
+//! (see [`super::queue`]). A sequential run is a single `Part` covering all
+//! ranks; a parallel run is several `Part`s advanced window-by-window by
+//! [`super::par`], exchanging cross-partition message effects as
+//! [`Handoff`]s at window barriers.
+//!
+//! The state layout is arena/SoA-style for 10K–100K rank scale:
+//!
+//! * per-rank control state ([`RankState`]) is a small flat struct; request
+//!   slots live in one flat arena indexed by per-rank prefix offsets, RNGs
+//!   are materialized only when a noise model is active, and payload slots
+//!   only when dataflow tracking is on;
+//! * channels `(src, dst, tag)` are dense [`Chan`] records in a free-listed
+//!   table bucketed by destination rank, with FIFO queues as intrusive
+//!   lists over two shared node arenas — an emptied channel returns its
+//!   record and its bucket entry, so the table tracks in-flight traffic
+//!   instead of growing with every distinct channel ever used (the seed
+//!   engine's dominant memory cost at 100K ranks);
+//! * messages live in a free-listed arena, as before.
+
+use std::collections::HashMap;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use super::queue::{EventQueue, QEvent};
+use super::{MsgEvent, PhaseRecord, SimError};
+use crate::compiled::{COp, CompiledJob, CNIL};
+use crate::data::{BlockFilter, Value};
+use crate::noise::NoiseModel;
+use crate::platform::Platform;
+use crate::program::{Job, ReqId, Slot, Tag};
+use crate::time::SimTime;
+use crate::SimConfig;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Protocol {
+    Eager,
+    Rendezvous,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum MsgState {
+    /// Created; not yet matched with a receive.
+    Unmatched,
+    /// Eager data has arrived but no receive was posted yet.
+    DeliveredUnmatched(SimTime),
+    /// Matched; delivery event will complete the receive.
+    WaitingDelivery,
+    /// Fully consumed.
+    Done,
+}
+
+/// A posted receive waiting in a channel. Packed to 16 bytes — one of
+/// these sits in the shared `recv_nodes` arena per unmatched receive and
+/// inside every matched [`Msg`], so its size is a per-message cache cost.
+#[derive(Debug, Clone, Copy)]
+struct RecvInfo {
+    slot: u32,
+    /// `NIL` = blocking `Recv` (the rank is parked on it); any other value
+    /// is the `Irecv` request to resolve on completion.
+    wake: u32,
+    posted_at: SimTime,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum SenderWake {
+    /// Blocking rendezvous `Send`; the rank is parked on it.
+    Blocked,
+    /// Rendezvous `Isend`; completing egress resolves this request.
+    Req(u32),
+    /// Eager send: the sender resumed immediately, nothing to wake.
+    None,
+}
+
+struct Msg {
+    /// Canonical id `(src << 40) | program-order send counter`; ties network
+    /// events to the sender's program, not to one execution's bookkeeping.
+    uid: u64,
+    src: u32,
+    dst: u32,
+    tag: Tag,
+    bytes: u64,
+    protocol: Protocol,
+    /// Sender-side ready time (after `o_s`).
+    ready: SimTime,
+    /// Pre-sampled multiplicative noise on the wire time (sampled in sender
+    /// program order so results do not depend on event processing order).
+    wire_factor: f64,
+    state: MsgState,
+    recv: Option<RecvInfo>,
+    sender_wake: SenderWake,
+    payload: Option<Value>,
+    /// For a message announced from another partition: the sender-side
+    /// message index over there (echoed back in `Handoff::InjectAt`).
+    src_ref: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ReqState {
+    Free,
+    Pending,
+    /// Pending and listed in the WaitAll the rank is currently parked on.
+    /// Completion decrements the rank's cached countdown instead of
+    /// re-scanning the op's request list (the scan dominated the profile
+    /// at 10K ranks: every completion chased program pointers).
+    PendingWaited,
+    Done(SimTime),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Status {
+    Runnable,
+    BlockedRecv,
+    BlockedSend,
+    BlockedWaitAll,
+    Finished,
+}
+
+struct RankState {
+    /// Absolute index of the rank's next op in [`CompiledJob::ops`] — the
+    /// hot loop is one indexed load into a single shared flat array.
+    op_i: u32,
+    /// Absolute index of the current segment in [`CompiledJob::segs`].
+    seg_i: u32,
+    /// First op of the current segment (phase-enter detection).
+    seg_start: u32,
+    /// One past the last op of the current segment.
+    seg_end: u32,
+    local: SimTime,
+    status: Status,
+    seg_enter: SimTime,
+    /// Set when a wake event is already scheduled, to avoid duplicates.
+    wake_pending: bool,
+    /// Set while the rank is inside `advance` (executing ops). Inline
+    /// resumes check it so a cascade never re-enters a rank that is
+    /// already running — it schedules a wake event instead.
+    active: bool,
+    /// While parked on a WaitAll: how many listed requests are still
+    /// pending, and the max completion time seen so far. Together these
+    /// make request completion O(1) — no program access, no list scan.
+    wa_left: u32,
+    wa_t: SimTime,
+}
+
+/// `(src, dst, tag)` packed into one integer so channel lookups hash a
+/// single u128 instead of a tuple field by field.
+type ChanKey = u128;
+
+#[inline]
+fn chan_key(src: u32, dst: u32, tag: Tag) -> ChanKey {
+    ((src as u128) << 96) | ((dst as u128) << 64) | tag as u128
+}
+
+/// Multiply-xor hasher (FxHash-style) for the uid map. SipHash dominated
+/// the map profile; keys are program-controlled, not attacker-controlled,
+/// so a non-DoS-resistant hash is fine here.
+#[derive(Default)]
+struct ChanHasher {
+    hash: u64,
+}
+
+const CHAN_HASH_K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// Cap on nested inline resumes/deliveries. Bounds stack growth on long
+/// intra-node dependency chains (e.g. a ping-pong loop inside one node);
+/// past the cap the engine falls back to queue events.
+const INLINE_DEPTH_MAX: u32 = 64;
+
+impl std::hash::Hasher for ChanHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ v).wrapping_mul(CHAN_HASH_K);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.write_u64(v as u64);
+        self.write_u64((v >> 64) as u64);
+    }
+}
+
+type ChanHash = std::hash::BuildHasherDefault<ChanHasher>;
+
+/// A live channel: intrusive FIFO lists of unmatched sends and unmatched
+/// posted receives. Both lists index into the owning table's node arenas.
+#[derive(Clone, Copy)]
+struct Chan {
+    in_head: u32,
+    in_tail: u32,
+    po_head: u32,
+    po_tail: u32,
+}
+
+/// Dense channel table: live channels bucketed by local destination rank,
+/// with two node arenas backing the per-channel FIFO queues. A channel's
+/// bucket entry is dropped as soon as both queues drain, so the table
+/// tracks in-flight traffic only.
+///
+/// A rank has only a handful of channels in flight at any instant, so one
+/// short walk of a per-rank list — with the [`Chan`] record stored *inline*
+/// in the node — beats a global hash map (whose random-probe misses were
+/// ~15% of the 10K-rank profile) and also beats an index into a separate
+/// channel arena (a second dependent miss). The lists are intrusive into
+/// one shared node arena rather than per-rank `Vec`s: with 10K+ ranks the
+/// per-run churn of one heap allocation per rank was itself visible in the
+/// profile. Destination ranks are always partition-local (cross-partition
+/// sends match on the destination side), so the head index is `dst - r0`.
+struct ChanTable {
+    r0: u32,
+    /// Head of each local destination rank's live-channel list (`NIL` = none).
+    by_dst: Vec<u32>,
+    /// `((key, channel), next)` nodes of the per-destination lists.
+    chan_nodes: Vec<((ChanKey, Chan), u32)>,
+    free_chan_nodes: Vec<u32>,
+    /// `(message index, next)` nodes for the `incoming` lists.
+    msg_nodes: Vec<(u32, u32)>,
+    free_msg_nodes: Vec<u32>,
+    /// `(receive info, next)` nodes for the `posted` lists.
+    recv_nodes: Vec<(RecvInfo, u32)>,
+    free_recv_nodes: Vec<u32>,
+}
+
+/// Append a value to an intrusive free-listed node arena.
+#[inline]
+fn alloc_node<T: Copy>(nodes: &mut Vec<(T, u32)>, free: &mut Vec<u32>, v: T) -> u32 {
+    match free.pop() {
+        Some(n) => {
+            nodes[n as usize] = (v, NIL);
+            n
+        }
+        None => {
+            nodes.push((v, NIL));
+            (nodes.len() - 1) as u32
+        }
+    }
+}
+
+impl ChanTable {
+    fn new(r0: u32, n: usize) -> ChanTable {
+        ChanTable {
+            r0,
+            by_dst: vec![NIL; n],
+            chan_nodes: Vec::new(),
+            free_chan_nodes: Vec::new(),
+            msg_nodes: Vec::new(),
+            free_msg_nodes: Vec::new(),
+            recv_nodes: Vec::new(),
+            free_recv_nodes: Vec::new(),
+        }
+    }
+
+    /// Find `key` in its destination's channel list. Returns the node and
+    /// its predecessor (`NIL` when the node is the head / key is absent).
+    #[inline]
+    fn find(&self, key: ChanKey) -> (usize, u32, u32) {
+        let dst = ((key >> 64) & 0xFFFF_FFFF) as u32;
+        let slot = (dst - self.r0) as usize;
+        let (mut prev, mut cur) = (NIL, self.by_dst[slot]);
+        while cur != NIL {
+            let ((k, _), next) = self.chan_nodes[cur as usize];
+            if k == key {
+                break;
+            }
+            prev = cur;
+            cur = next;
+        }
+        (slot, prev, cur)
+    }
+
+    /// Unlink a drained channel node and return it to the free list.
+    #[inline]
+    fn release(&mut self, slot: usize, prev: u32, cur: u32) {
+        let next = self.chan_nodes[cur as usize].1;
+        if prev == NIL {
+            self.by_dst[slot] = next;
+        } else {
+            self.chan_nodes[prev as usize].1 = next;
+        }
+        self.free_chan_nodes.push(cur);
+    }
+
+    /// A send arrives on `key`: pop the oldest posted receive if one exists,
+    /// otherwise append `msg` to the channel's incoming list. One list walk
+    /// total, including the empty-channel release.
+    fn send_arrives(&mut self, key: ChanKey, msg: u32) -> Option<RecvInfo> {
+        let (slot, prev, cur) = self.find(key);
+        if cur == NIL {
+            let n = alloc_node(&mut self.msg_nodes, &mut self.free_msg_nodes, msg);
+            let chan = Chan { in_head: n, in_tail: n, po_head: NIL, po_tail: NIL };
+            let cn = alloc_node(&mut self.chan_nodes, &mut self.free_chan_nodes, (key, chan));
+            self.chan_nodes[cn as usize].1 = self.by_dst[slot];
+            self.by_dst[slot] = cn;
+            return None;
+        }
+        let c = &mut self.chan_nodes[cur as usize].0 .1;
+        let head = c.po_head;
+        if head != NIL {
+            let (info, next) = self.recv_nodes[head as usize];
+            c.po_head = next;
+            if next == NIL {
+                c.po_tail = NIL;
+            }
+            if c.in_head == NIL && c.po_head == NIL {
+                self.release(slot, prev, cur);
+            }
+            self.free_recv_nodes.push(head);
+            return Some(info);
+        }
+        let n = alloc_node(&mut self.msg_nodes, &mut self.free_msg_nodes, msg);
+        let c = &mut self.chan_nodes[cur as usize].0 .1;
+        if c.in_tail == NIL {
+            c.in_head = n;
+        } else {
+            self.msg_nodes[c.in_tail as usize].1 = n;
+        }
+        c.in_tail = n;
+        None
+    }
+
+    /// A receive arrives on `key`: pop the oldest unmatched send if one
+    /// exists, otherwise append `info` to the channel's posted list.
+    fn recv_arrives(&mut self, key: ChanKey, info: RecvInfo) -> Option<u32> {
+        let (slot, prev, cur) = self.find(key);
+        if cur == NIL {
+            let n = alloc_node(&mut self.recv_nodes, &mut self.free_recv_nodes, info);
+            let chan = Chan { in_head: NIL, in_tail: NIL, po_head: n, po_tail: n };
+            let cn = alloc_node(&mut self.chan_nodes, &mut self.free_chan_nodes, (key, chan));
+            self.chan_nodes[cn as usize].1 = self.by_dst[slot];
+            self.by_dst[slot] = cn;
+            return None;
+        }
+        let c = &mut self.chan_nodes[cur as usize].0 .1;
+        let head = c.in_head;
+        if head != NIL {
+            let (msg, next) = self.msg_nodes[head as usize];
+            c.in_head = next;
+            if next == NIL {
+                c.in_tail = NIL;
+            }
+            if c.in_head == NIL && c.po_head == NIL {
+                self.release(slot, prev, cur);
+            }
+            self.free_msg_nodes.push(head);
+            return Some(msg);
+        }
+        let n = alloc_node(&mut self.recv_nodes, &mut self.free_recv_nodes, info);
+        let c = &mut self.chan_nodes[cur as usize].0 .1;
+        if c.po_tail == NIL {
+            c.po_head = n;
+        } else {
+            self.recv_nodes[c.po_tail as usize].1 = n;
+        }
+        c.po_tail = n;
+        None
+    }
+
+    /// Arena slots ever allocated (capacity high-water mark).
+    fn arena_slots(&self) -> usize {
+        self.msg_nodes.len() + self.recv_nodes.len() + self.chan_nodes.len()
+    }
+}
+
+/// A cross-partition message effect, exchanged at window barriers.
+///
+/// `Announce` and `WireArrivalAt` travel sender → receiver partition;
+/// `InjectAt` travels back. Application order (by source partition, then
+/// emission order) preserves per-channel FIFO and the announce-before-wire
+/// invariant, because all traffic of one channel originates from a single
+/// rank, hence a single partition.
+pub(super) enum Handoff {
+    /// A send whose destination rank lives in the receiving partition. The
+    /// destination allocates its own message record and runs the usual
+    /// matching against posted receives.
+    Announce {
+        uid: u64,
+        src: u32,
+        dst: u32,
+        tag: Tag,
+        bytes: u64,
+        eager: bool,
+        ready: SimTime,
+        wire_factor: f64,
+        src_ref: u32,
+        payload: Option<Value>,
+    },
+    /// Rendezvous response: the receiver matched the announce; the sender
+    /// partition schedules network injection of its message `src_ref` at `t`.
+    InjectAt { src_ref: u32, t: SimTime },
+    /// The sender partition finished egress; the bits of message `uid`
+    /// reach the receiver's NIC at `t`.
+    WireArrivalAt { uid: u64, t: SimTime },
+}
+
+/// The execution core for ranks `[r0, r1)` of a run. See the module docs.
+pub(super) struct Part<'a> {
+    platform: &'a Platform,
+    cfg: &'a SimConfig,
+    /// The job's flattened op stream (see [`crate::compiled`]). Borrowed so
+    /// the hot loop can hold `&'a COp` references while mutating the rest
+    /// of the state — no per-event op clone.
+    comp: &'a CompiledJob,
+    /// Partition rank boundaries of the whole run (`bounds[i]..bounds[i+1]`
+    /// is partition `i`); used to route cross-partition handoffs.
+    bounds: &'a [usize],
+    r0: usize,
+    r1: usize,
+    /// First cluster node of this partition (partitions are node-aligned, so
+    /// NIC egress/ingress state is partition-local).
+    node0: usize,
+    ranks: Vec<RankState>,
+    /// Per-rank RNG streams; empty when the noise model is `None` (the
+    /// common sweep configuration), saving one ChaCha init per rank.
+    rngs: Vec<ChaCha8Rng>,
+    /// Flat request arena; rank `l` owns `req_base[l]..req_base[l+1]`.
+    reqs: Vec<ReqState>,
+    req_base: Vec<u32>,
+    /// Per-rank payload slots; empty unless `track_data`.
+    slots: Vec<Vec<Value>>,
+    queue: EventQueue,
+    chans: ChanTable,
+    msgs: Vec<Msg>,
+    free_msgs: Vec<u32>,
+    egress_free: Vec<SimTime>,
+    ingress_free: Vec<SimTime>,
+    /// Per-rank count of sends initiated, in program order (uid minor part).
+    send_seq: Vec<u64>,
+    /// uid → local message index for messages announced from elsewhere.
+    uid_map: HashMap<u64, u32, ChanHash>,
+    /// Handoffs emitted while processing a window, indexed by target
+    /// partition.
+    outbox: Vec<Vec<Handoff>>,
+    /// Handoffs emitted while *applying* inbound handoffs (rendezvous
+    /// `InjectAt` responses), exchanged in a second barrier phase.
+    aux: Vec<Vec<Handoff>>,
+    in_apply: bool,
+    /// Current inline-cascade depth (see [`Part::resume_inline`]).
+    inline_depth: u32,
+    pub(super) phases: Vec<PhaseRecord>,
+    pub(super) finish: Vec<SimTime>,
+    pub(super) msg_events: Vec<MsgEvent>,
+    pub(super) data_errors: Vec<(u32, String)>,
+    pub(super) events: u64,
+    pub(super) messages: u64,
+    /// First error raised, tagged with the canonical key of the event being
+    /// processed — across partitions, the minimum key is the error the
+    /// sequential run would have reported.
+    pub(super) error: Option<(QEvent, SimError)>,
+    pub(super) last_t: SimTime,
+    cur_key: QEvent,
+    /// False until the first `run_until` has swept every rank once. The
+    /// sweep replaces the seed engine's p initial wake events: ranks start
+    /// in ascending order, exactly the canonical order of the elided
+    /// `(t=0, WAKE, rank)` keys, so outputs are unchanged.
+    started: bool,
+    pub(super) queue_hwm: usize,
+    live_msgs: usize,
+    pub(super) live_msgs_hwm: usize,
+}
+
+impl<'a> Part<'a> {
+    pub(super) fn new(
+        platform: &'a Platform,
+        job: &'a Job,
+        cfg: &'a SimConfig,
+        bounds: &'a [usize],
+        me: usize,
+    ) -> Part<'a> {
+        let (r0, r1) = (bounds[me], bounds[me + 1]);
+        let n = r1 - r0;
+        let nparts = bounds.len() - 1;
+        let node0 = platform.node_of(r0);
+        let nnodes = platform.node_of(r1 - 1) + 1 - node0;
+
+        let req_counts = job.req_counts();
+        let comp = job.compiled();
+        let mut ranks = Vec::with_capacity(n);
+        let mut req_base = Vec::with_capacity(n + 1);
+        let mut nreqs = 0u32;
+        for (g, &rc) in req_counts.iter().enumerate().take(r1).skip(r0) {
+            req_base.push(nreqs);
+            nreqs += rc;
+            let (s0, s1) = (comp.rank_segs[g], comp.rank_segs[g + 1]);
+            let op0 = comp.rank_ops[g];
+            ranks.push(RankState {
+                op_i: op0,
+                seg_i: s0,
+                seg_start: op0,
+                seg_end: if s0 < s1 { comp.segs[s0 as usize].end } else { op0 },
+                local: 0.0,
+                status: Status::Runnable,
+                seg_enter: 0.0,
+                wake_pending: false,
+                active: false,
+                wa_left: 0,
+                wa_t: 0.0,
+            });
+        }
+        req_base.push(nreqs);
+
+        let rngs = if cfg.noise.is_none() {
+            Vec::new()
+        } else {
+            (r0..r1)
+                .map(|g| {
+                    ChaCha8Rng::seed_from_u64(
+                        cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(g as u64),
+                    )
+                })
+                .collect()
+        };
+        let slots = if cfg.track_data {
+            (r0..r1).map(|g| vec![Value::empty(); job.slots_needed(g)]).collect()
+        } else {
+            Vec::new()
+        };
+
+        let queue = EventQueue::auto(n, platform.inter.latency);
+
+        Part {
+            platform,
+            cfg,
+            comp,
+            bounds,
+            r0,
+            r1,
+            node0,
+            ranks,
+            rngs,
+            reqs: vec![ReqState::Free; nreqs as usize],
+            req_base,
+            slots,
+            queue,
+            chans: ChanTable::new(r0 as u32, n),
+            msgs: Vec::new(),
+            free_msgs: Vec::new(),
+            egress_free: vec![0.0; nnodes],
+            ingress_free: vec![0.0; nnodes],
+            send_seq: vec![0; n],
+            uid_map: HashMap::default(),
+            outbox: (0..nparts).map(|_| Vec::new()).collect(),
+            aux: (0..nparts).map(|_| Vec::new()).collect(),
+            in_apply: false,
+            inline_depth: 0,
+            phases: Vec::new(),
+            finish: vec![0.0; n],
+            msg_events: Vec::new(),
+            data_errors: Vec::new(),
+            events: 0,
+            messages: 0,
+            error: None,
+            last_t: 0.0,
+            cur_key: QEvent { t: 0.0, kind: 0, uid: 0, idx: 0 },
+            started: false,
+            queue_hwm: 0,
+            live_msgs: 0,
+            live_msgs_hwm: 0,
+        }
+    }
+
+    /// Global rank of local index `l`.
+    #[inline]
+    fn g(&self, l: usize) -> usize {
+        self.r0 + l
+    }
+
+    #[inline]
+    fn owns(&self, rank: usize) -> bool {
+        (self.r0..self.r1).contains(&rank)
+    }
+
+    /// Partition owning a global rank (partitions are contiguous).
+    #[inline]
+    fn part_of(&self, rank: usize) -> usize {
+        self.bounds.partition_point(|&b| b <= rank) - 1
+    }
+
+    fn emit(&mut self, target: usize, h: Handoff) {
+        if self.in_apply {
+            self.aux[target].push(h);
+        } else {
+            self.outbox[target].push(h);
+        }
+    }
+
+    /// Timestamp of the next pending event (`∞` when idle or errored).
+    pub(super) fn next_time(&mut self) -> f64 {
+        if self.error.is_some() {
+            return f64::INFINITY;
+        }
+        if !self.started {
+            // The startup sweep (all ranks begin at t = 0) is still pending.
+            return 0.0;
+        }
+        self.queue.peek().map_or(f64::INFINITY, |e| e.t)
+    }
+
+    pub(super) fn has_error(&self) -> bool {
+        self.error.is_some()
+    }
+
+    /// Move this partition's emitted handoffs out for publication.
+    pub(super) fn take_outbox(&mut self) -> Vec<Vec<Handoff>> {
+        let n = self.outbox.len();
+        std::mem::replace(&mut self.outbox, (0..n).map(|_| Vec::new()).collect())
+    }
+
+    /// Move the barrier-phase responses out for publication.
+    pub(super) fn take_aux(&mut self) -> Vec<Vec<Handoff>> {
+        let n = self.aux.len();
+        std::mem::replace(&mut self.aux, (0..n).map(|_| Vec::new()).collect())
+    }
+
+    /// Apply inbound handoffs from one source partition, in emission order.
+    pub(super) fn apply(&mut self, handoffs: Vec<Handoff>) {
+        self.in_apply = true;
+        for h in handoffs {
+            match h {
+                Handoff::Announce {
+                    uid,
+                    src,
+                    dst,
+                    tag,
+                    bytes,
+                    eager,
+                    ready,
+                    wire_factor,
+                    src_ref,
+                    payload,
+                } => {
+                    let id = self.alloc_msg(Msg {
+                        uid,
+                        src,
+                        dst,
+                        tag,
+                        bytes,
+                        protocol: if eager { Protocol::Eager } else { Protocol::Rendezvous },
+                        ready,
+                        wire_factor,
+                        state: MsgState::Unmatched,
+                        recv: None,
+                        sender_wake: SenderWake::None,
+                        payload,
+                        src_ref,
+                    });
+                    self.uid_map.insert(uid, id as u32);
+                    if let Some(info) = self.chans.send_arrives(chan_key(src, dst, tag), id as u32) {
+                        self.attach_recv(id, info);
+                    }
+                }
+                Handoff::InjectAt { src_ref, t } => {
+                    let uid = self.msgs[src_ref as usize].uid;
+                    self.push_event(t, QEvent::KIND_INJECT, uid, src_ref);
+                }
+                Handoff::WireArrivalAt { uid, t } => {
+                    let idx = self.uid_map[&uid];
+                    self.push_event(t, QEvent::KIND_WIRE, uid, idx);
+                }
+            }
+        }
+        self.in_apply = false;
+    }
+
+    #[inline]
+    fn push_event(&mut self, t: SimTime, kind: u8, uid: u64, idx: u32) {
+        self.queue.push(QEvent { t, kind, uid, idx });
+        if self.queue.len() > self.queue_hwm {
+            self.queue_hwm = self.queue.len();
+        }
+    }
+
+    fn schedule_wake(&mut self, l: usize, t: SimTime) {
+        if !self.ranks[l].wake_pending {
+            self.ranks[l].wake_pending = true;
+            self.push_event(t, QEvent::KIND_WAKE, self.g(l) as u64, l as u32);
+        }
+    }
+
+    /// Process pending events with `t < until` in canonical order; stops
+    /// early on the first error.
+    pub(super) fn run_until(&mut self, until: f64) {
+        if self.error.is_some() {
+            return;
+        }
+        if !self.started {
+            if until <= 0.0 {
+                return;
+            }
+            // Startup sweep: run every rank once from t = 0 in ascending
+            // rank order — the canonical order of the initial wake events
+            // this replaces (`t` ties broken by kind, then uid = rank).
+            self.started = true;
+            for l in 0..self.ranks.len() {
+                self.cur_key =
+                    QEvent { t: 0.0, kind: QEvent::KIND_WAKE, uid: self.g(l) as u64, idx: l as u32 };
+                self.advance(l);
+                if self.error.is_some() {
+                    return;
+                }
+            }
+        }
+        while let Some(&key) = self.queue.peek() {
+            if key.t >= until {
+                break;
+            }
+            self.queue.pop();
+            self.events += 1;
+            self.last_t = key.t;
+            self.cur_key = key;
+            match key.kind {
+                QEvent::KIND_WAKE => {
+                    let l = key.idx as usize;
+                    self.ranks[l].wake_pending = false;
+                    self.advance(l);
+                }
+                QEvent::KIND_INJECT => self.on_inject(key.idx as usize, key.t),
+                QEvent::KIND_WIRE => self.on_wire_arrival(key.idx as usize, key.t),
+                _ => self.on_delivered(key.idx as usize, key.t),
+            }
+            if self.error.is_some() {
+                return;
+            }
+        }
+    }
+
+    /// Ranks of this partition that have not finished, with a description of
+    /// what blocks them (deadlock reporting).
+    pub(super) fn blocked(&self) -> Vec<(usize, String)> {
+        self.ranks
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.status != Status::Finished)
+            .map(|(l, st)| {
+                let g = self.g(l);
+                let seg = st.seg_i - self.comp.rank_segs[g];
+                let pc = st.op_i - st.seg_start;
+                let desc = if st.op_i < self.comp.rank_ops[g + 1] {
+                    let op = &self.comp.ops[st.op_i as usize];
+                    format!("{:?} (seg {}, pc {}, status {:?})", op, seg, pc, st.status)
+                } else {
+                    format!("end-of-program? (seg {}, pc {}, status {:?})", seg, pc, st.status)
+                };
+                (g, desc)
+            })
+            .collect()
+    }
+
+    /// Allocated arena slots (messages + channel records + queue nodes).
+    pub(super) fn arena_slots(&self) -> usize {
+        self.msgs.len() + self.chans.arena_slots()
+    }
+
+    fn fail(&mut self, msg: String) {
+        if self.error.is_none() {
+            self.error = Some((self.cur_key, SimError::InvalidProgram(msg)));
+        }
+    }
+
+    // -- rank execution ----------------------------------------------------
+
+    /// Execute ops of local rank `l` until it blocks or finishes.
+    fn advance(&mut self, l: usize) {
+        self.ranks[l].active = true;
+        self.advance_inner(l);
+        self.ranks[l].active = false;
+    }
+
+    /// Resume rank `l` inline (its local clock already carries its logical
+    /// time) instead of round-tripping a wake event through the queue.
+    /// Matching is FIFO head-to-head per channel and NIC claims still go
+    /// through timestamped events, so with noise off — where no cross-rank
+    /// RNG interleaving can shift — the outcome is identical. Refuses (and
+    /// returns false, caller schedules a wake) when the rank is already
+    /// mid-`advance` or the cascade is deep enough to threaten the stack.
+    /// Cascades only propagate intra-node, and partitions are node-aligned,
+    /// so sequential and partitioned runs take identical decisions here.
+    fn resume_inline(&mut self, l: usize) -> bool {
+        if !self.cfg.noise.is_none()
+            || self.inline_depth >= INLINE_DEPTH_MAX
+            || self.ranks[l].active
+        {
+            return false;
+        }
+        self.inline_depth += 1;
+        self.advance(l);
+        self.inline_depth -= 1;
+        true
+    }
+
+    fn advance_inner(&mut self, l: usize) {
+        loop {
+            match self.ranks[l].status {
+                Status::Finished | Status::BlockedRecv | Status::BlockedSend => return,
+                Status::BlockedWaitAll => {
+                    // Re-evaluate the WaitAll the rank is parked on; on
+                    // success the op is complete, so advance past it.
+                    if !self.try_waitall(l) {
+                        return;
+                    }
+                    self.ranks[l].status = Status::Runnable;
+                    self.step(l);
+                }
+                Status::Runnable => {}
+            }
+
+            // Fast path: the next op is one indexed load into the job's
+            // flat compiled op stream; segment tables are only touched at
+            // boundaries below.
+            let comp = self.comp;
+            let st = &mut self.ranks[l];
+            let op_i = st.op_i;
+            if op_i < st.seg_end {
+                if op_i == st.seg_start {
+                    st.seg_enter = st.local;
+                }
+                // `comp` borrows the job with the outer lifetime, so `op`
+                // does not pin `self` while exec_op mutates it.
+                let op = &comp.ops[op_i as usize];
+                if !self.exec_op(l, op) {
+                    return;
+                }
+                if self.error.is_some() {
+                    return;
+                }
+                continue;
+            }
+
+            // Segment bookkeeping.
+            let seg_i = st.seg_i;
+            let g = self.r0 + l;
+            if seg_i >= comp.rank_segs[g + 1] {
+                let st = &mut self.ranks[l];
+                st.status = Status::Finished;
+                let t = st.local;
+                self.finish[l] = t;
+                return;
+            }
+            // Segment complete (op_i ran past its end).
+            if self.cfg.record_phases {
+                if let Some(label) = comp.segs[seg_i as usize].label() {
+                    let enter = self.ranks[l].seg_enter;
+                    let exit = self.ranks[l].local;
+                    self.phases.push(PhaseRecord { rank: g, label, enter, exit });
+                }
+            }
+            let st = &mut self.ranks[l];
+            st.seg_i = seg_i + 1;
+            st.seg_start = op_i;
+            st.seg_enter = st.local;
+            st.seg_end = if seg_i + 1 < comp.rank_segs[g + 1] {
+                comp.segs[(seg_i + 1) as usize].end
+            } else {
+                op_i
+            };
+        }
+    }
+
+    /// Execute one op. Returns false if the rank blocked (`op_i` stays on
+    /// the op); returns true if execution should continue (`op_i` advanced).
+    fn exec_op(&mut self, l: usize, op: &COp) -> bool {
+        match *op {
+            COp::Compute { seconds, noisy } => {
+                let d = if noisy { self.perturb(l, seconds) } else { seconds };
+                self.ranks[l].local += d;
+                self.step(l);
+                true
+            }
+            COp::SleepUntil { time } => {
+                let r = &mut self.ranks[l];
+                r.local = r.local.max(time);
+                self.step(l);
+                true
+            }
+            COp::Send { to, slot, tag, bytes, filter, req } => self.do_send(
+                l,
+                to as usize,
+                tag,
+                bytes,
+                slot as usize,
+                filter,
+                (req != CNIL).then_some(req as usize),
+            ),
+            COp::Recv { from, slot, tag, req } => {
+                self.do_recv(l, from as usize, tag, slot as usize, (req != CNIL).then_some(req as usize))
+            }
+            COp::WaitAll { .. } => {
+                if self.enter_waitall(l) {
+                    self.step(l);
+                    true
+                } else {
+                    self.ranks[l].status = Status::BlockedWaitAll;
+                    false
+                }
+            }
+            COp::ReduceLocal { from, into, bytes } => {
+                let cost = bytes as f64 * self.platform.reduce_cost_per_byte;
+                let d = self.perturb(l, cost);
+                self.ranks[l].local += d;
+                if self.cfg.track_data {
+                    // Value clones are Arc bumps; the deep copy happens only
+                    // if reduce_from must mutate shared blocks.
+                    let src = self.slots[l][from as usize].clone();
+                    if let Err(e) = self.slots[l][into as usize].reduce_from(&src) {
+                        self.data_error(l, e);
+                    }
+                }
+                self.step(l);
+                true
+            }
+            COp::MergeMove { from, into } => {
+                if self.cfg.track_data {
+                    let src = self.slots[l][from as usize].clone();
+                    if let Err(e) = self.slots[l][into as usize].merge_from(&src) {
+                        self.data_error(l, e);
+                    }
+                }
+                self.step(l);
+                true
+            }
+            COp::OverwriteMove { from, into } => {
+                if self.cfg.track_data {
+                    let src = self.slots[l][from as usize].clone();
+                    self.slots[l][into as usize].overwrite_from(&src);
+                }
+                self.step(l);
+                true
+            }
+            COp::DropBlocks { slot, filter } => {
+                if self.cfg.track_data {
+                    let f = self.filter(filter);
+                    self.slots[l][slot as usize].drop_matching(f);
+                }
+                self.step(l);
+                true
+            }
+            COp::CopySlot { from, into } => {
+                if self.cfg.track_data {
+                    let src = self.slots[l][from as usize].clone();
+                    self.slots[l][into as usize] = src;
+                }
+                self.step(l);
+                true
+            }
+            COp::InitSlot { slot, value } => {
+                if self.cfg.track_data {
+                    self.slots[l][slot as usize] = self.comp.values[value as usize].clone();
+                }
+                self.step(l);
+                true
+            }
+            COp::ClearSlot { slot } => {
+                if self.cfg.track_data {
+                    self.slots[l][slot as usize] = Value::empty();
+                }
+                self.step(l);
+                true
+            }
+        }
+    }
+
+    /// Resolve a compiled filter index (`CNIL` = whole slot).
+    #[inline]
+    fn filter(&self, f: u32) -> BlockFilter {
+        if f == CNIL {
+            BlockFilter::All
+        } else {
+            self.comp.filters[f as usize]
+        }
+    }
+
+    fn data_error(&mut self, l: usize, e: impl std::fmt::Display) {
+        let rank = self.g(l);
+        self.data_errors.push((rank as u32, format!("rank {rank}: {e}")));
+    }
+
+    /// Advance past the current op.
+    fn step(&mut self, l: usize) {
+        self.ranks[l].op_i += 1;
+    }
+
+    fn perturb(&mut self, l: usize, d: SimTime) -> SimTime {
+        match self.cfg.noise {
+            NoiseModel::None => d,
+            m => m.perturb(d, &mut self.rngs[l]),
+        }
+    }
+
+    #[inline]
+    fn req(&mut self, l: usize, r: ReqId) -> &mut ReqState {
+        &mut self.reqs[self.req_base[l] as usize + r]
+    }
+
+    // -- sends & receives ---------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn do_send(
+        &mut self,
+        l: usize,
+        to: usize,
+        tag: Tag,
+        bytes: u64,
+        slot: Slot,
+        filter: u32,
+        req: Option<ReqId>,
+    ) -> bool {
+        let rank = self.g(l);
+        if to >= self.platform.ranks {
+            self.fail(format!("rank {rank} sends to non-existent rank {to}"));
+            return false;
+        }
+        if to == rank {
+            self.fail(format!("rank {rank} sends to itself (use CopySlot)"));
+            return false;
+        }
+        if let Some(r) = req {
+            if *self.req(l, r) != ReqState::Free {
+                self.fail(format!("rank {rank} reuses request {r} before WaitAll"));
+                return false;
+            }
+        }
+
+        let o_s = self.platform.send_overhead;
+        let ts = self.ranks[l].local + self.perturb(l, o_s);
+        let wire_factor = match self.cfg.noise {
+            NoiseModel::None => 1.0,
+            m => m.wire_factor(&mut self.rngs[l]),
+        };
+        let eager = self.platform.is_eager(bytes);
+        let payload = if self.cfg.track_data {
+            Some(match self.filter(filter) {
+                BlockFilter::All => self.slots[l][slot].clone(),
+                f => self.slots[l][slot].filtered(|c| f.matches(c)),
+            })
+        } else {
+            None
+        };
+        let uid = ((rank as u64) << 40) | self.send_seq[l];
+        self.send_seq[l] += 1;
+        self.messages += 1;
+
+        let cross = !self.owns(to);
+        let sender_wake = if eager {
+            SenderWake::None
+        } else {
+            match req {
+                Some(r) => {
+                    *self.req(l, r) = ReqState::Pending;
+                    SenderWake::Req(r as u32)
+                }
+                None => SenderWake::Blocked,
+            }
+        };
+        let id = self.alloc_msg(Msg {
+            uid,
+            src: rank as u32,
+            dst: to as u32,
+            tag,
+            bytes,
+            protocol: if eager { Protocol::Eager } else { Protocol::Rendezvous },
+            ready: ts,
+            wire_factor,
+            state: MsgState::Unmatched,
+            recv: None,
+            sender_wake,
+            // A cross-partition payload travels inside the announce; the
+            // destination owns matching and delivery.
+            payload: if cross { None } else { payload.clone() },
+            src_ref: NIL,
+        });
+        if cross {
+            self.emit(
+                self.part_of(to),
+                Handoff::Announce {
+                    uid,
+                    src: rank as u32,
+                    dst: to as u32,
+                    tag,
+                    bytes,
+                    eager,
+                    ready: ts,
+                    wire_factor,
+                    src_ref: id as u32,
+                    payload,
+                },
+            );
+        }
+
+        if eager {
+            // Sender resumes immediately; data is injected in the background.
+            self.ranks[l].local = ts;
+            if let Some(r) = req {
+                *self.req(l, r) = ReqState::Done(ts);
+            }
+            if !cross {
+                if let Some(info) = self.chans.send_arrives(chan_key(rank as u32, to as u32, tag), id as u32)
+                {
+                    self.attach_recv(id, info);
+                }
+            }
+            self.step(l);
+            self.inject_or_push(id, ts);
+            true
+        } else if req.is_some() {
+            self.ranks[l].local = ts;
+            if !cross {
+                if let Some(info) = self.chans.send_arrives(chan_key(rank as u32, to as u32, tag), id as u32)
+                {
+                    self.attach_recv(id, info);
+                }
+            }
+            // Isend: continue; request completes at egress done.
+            self.step(l);
+            true
+        } else {
+            // Rendezvous delivery is always asynchronous, so a blocking
+            // send parks here whether or not it matched. Park BEFORE the
+            // match: an inline intra-node injection triggered by the match
+            // observes a parked sender and schedules the resume wake.
+            self.ranks[l].local = ts;
+            self.ranks[l].status = Status::BlockedSend;
+            if !cross {
+                if let Some(info) = self.chans.send_arrives(chan_key(rank as u32, to as u32, tag), id as u32)
+                {
+                    self.attach_recv(id, info);
+                }
+            }
+            false
+        }
+    }
+
+    fn do_recv(&mut self, l: usize, from: usize, tag: Tag, slot: Slot, req: Option<ReqId>) -> bool {
+        let rank = self.g(l);
+        if from >= self.platform.ranks {
+            self.fail(format!("rank {rank} receives from non-existent rank {from}"));
+            return false;
+        }
+        if from == rank {
+            self.fail(format!("rank {rank} receives from itself"));
+            return false;
+        }
+        if let Some(r) = req {
+            if *self.req(l, r) != ReqState::Free {
+                self.fail(format!("rank {rank} reuses request {r} before WaitAll"));
+                return false;
+            }
+            *self.req(l, r) = ReqState::Pending;
+        }
+
+        // Posting a receive costs CPU (descriptor setup / matching-queue
+        // insertion). This per-message software cost is what makes
+        // aggregating algorithms (Bruck) win small-message collectives over
+        // posting one pair of requests per peer.
+        let post = self.perturb(l, self.platform.recv_overhead);
+        self.ranks[l].local += post;
+        let tr = self.ranks[l].local;
+        let wake = match req {
+            Some(r) => r as u32,
+            None => NIL,
+        };
+        let info = RecvInfo { slot: slot as u32, posted_at: tr, wake };
+
+        if req.is_none() {
+            // Park BEFORE the match: an inline intra-node delivery triggered
+            // by the match observes a parked receiver, marks it Runnable and
+            // schedules its resume — which must not be clobbered afterwards.
+            self.ranks[l].status = Status::BlockedRecv;
+        }
+        if let Some(mid) = self.chans.recv_arrives(chan_key(from as u32, rank as u32, tag), info) {
+            let mid = mid as usize;
+            // Eager message already delivered: complete inline.
+            if let MsgState::DeliveredUnmatched(t_d) = self.msgs[mid].state {
+                let o_r = self.platform.recv_overhead;
+                let done = tr.max(t_d) + self.perturb(l, o_r);
+                self.finish_recv(mid, l, slot, done, req);
+                // Blocking recv continues at `done`.
+                if req.is_none() {
+                    self.ranks[l].local = done;
+                    self.ranks[l].status = Status::Runnable;
+                }
+                self.step(l);
+                return true;
+            }
+            self.attach_recv(mid, info);
+        }
+        match req {
+            Some(_) => {
+                self.step(l);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Pair a send with a receive; for rendezvous this starts the handshake.
+    fn attach_recv(&mut self, id: usize, recv: RecvInfo) {
+        let m = &self.msgs[id];
+        let (protocol, ready, src, dst) = (m.protocol, m.ready, m.src as usize, m.dst as usize);
+        self.msgs[id].recv = Some(recv);
+        self.msgs[id].state = MsgState::WaitingDelivery;
+        if protocol == Protocol::Rendezvous {
+            let lat = self.platform.link(src, dst).latency;
+            let inject_ready = (ready + lat).max(recv.posted_at) + lat;
+            if self.owns(src) {
+                self.inject_or_push(id, inject_ready);
+            } else {
+                // The sender partition owns injection (egress serialization
+                // and sender wake-up); answer the announce with the time.
+                let src_ref = self.msgs[id].src_ref;
+                self.emit(self.part_of(src), Handoff::InjectAt { src_ref, t: inject_ready });
+            }
+        }
+    }
+
+    // -- network pipeline ---------------------------------------------------
+
+    /// Run the injection pipeline for message `id` inline when it is an
+    /// intra-node transfer in a noise-free run — shared-memory transfers
+    /// claim no NIC resource, so nothing about them depends on global event
+    /// order — otherwise schedule the inject event at `t`.
+    fn inject_or_push(&mut self, id: usize, t: SimTime) {
+        let m = &self.msgs[id];
+        let (src, dst, uid) = (m.src as usize, m.dst as usize, m.uid);
+        if self.cfg.noise.is_none()
+            && self.inline_depth < INLINE_DEPTH_MAX
+            && self.platform.same_node(src, dst)
+        {
+            self.inline_depth += 1;
+            self.on_inject(id, t);
+            self.inline_depth -= 1;
+        } else {
+            self.push_event(t, QEvent::KIND_INJECT, uid, id as u32);
+        }
+    }
+
+    fn on_inject(&mut self, id: usize, now: SimTime) {
+        let m = &self.msgs[id];
+        let (src, dst, bytes, uid) = (m.src as usize, m.dst as usize, m.bytes, m.uid);
+        let link = *self.platform.link(src, dst);
+        let wire = bytes as f64 / link.bandwidth * m.wire_factor;
+        let intra = self.platform.same_node(src, dst);
+
+        let (start, egress_done) = if !intra && self.platform.nic_serialization {
+            let node = self.platform.node_of(src) - self.node0;
+            let start = now.max(self.egress_free[node]);
+            self.egress_free[node] = start + wire;
+            (start, start + wire)
+        } else {
+            (now, now + wire)
+        };
+
+        // Wake a rendezvous sender once the data has left the node.
+        match self.msgs[id].sender_wake {
+            SenderWake::Blocked => {
+                let l = src - self.r0;
+                self.ranks[l].local = egress_done;
+                self.ranks[l].status = Status::Runnable;
+                self.step(l);
+                if !self.resume_inline(l) {
+                    self.schedule_wake(l, egress_done);
+                }
+            }
+            SenderWake::Req(r) => {
+                self.complete_req(src - self.r0, r as usize, egress_done);
+            }
+            SenderWake::None => {}
+        }
+        self.msgs[id].sender_wake = SenderWake::None;
+
+        if !self.owns(dst) {
+            // Cross-partition (hence inter-node): the rest of the pipeline —
+            // ingress serialization, delivery, matching — runs at the
+            // destination.
+            self.emit(self.part_of(dst), Handoff::WireArrivalAt { uid, t: start + link.latency + wire });
+            self.retire_msg(id);
+        } else if intra {
+            // Shared memory: latency + copy, no NIC. The delivery time is
+            // fully determined here; with noise off no RNG draw order can
+            // change, so deliver inline instead of scheduling a third event
+            // per message (channel FIFO and all computed times are
+            // identical — see the module docs on event elision).
+            let t_arr = start + link.latency + wire;
+            if self.cfg.noise.is_none() && self.inline_depth < INLINE_DEPTH_MAX {
+                self.inline_depth += 1;
+                self.on_delivered(id, t_arr);
+                self.inline_depth -= 1;
+            } else {
+                self.push_event(t_arr, QEvent::KIND_DELIVERED, uid, id as u32);
+            }
+        } else {
+            self.push_event(start + link.latency + wire, QEvent::KIND_WIRE, uid, id as u32);
+        }
+    }
+
+    fn on_wire_arrival(&mut self, id: usize, now: SimTime) {
+        let m = &self.msgs[id];
+        let (src, dst, bytes, uid) = (m.src as usize, m.dst as usize, m.bytes, m.uid);
+        debug_assert!(!self.platform.same_node(src, dst));
+        let wire = bytes as f64 / self.platform.inter.bandwidth * m.wire_factor;
+        let delivered = if self.platform.nic_serialization {
+            let node = self.platform.node_of(dst) - self.node0;
+            let t = now.max(self.ingress_free[node]);
+            self.ingress_free[node] = t + wire;
+            t
+        } else {
+            now
+        };
+        // `delivered` is fully determined at wire-arrival time (the ingress
+        // NIC slot was just claimed), so with noise off — where no RNG draw
+        // order can shift — the delivery is processed inline rather than
+        // through a third queue event per message. Receives posted between
+        // now and `delivered` observe the identical outcome through the
+        // `DeliveredUnmatched` path in `do_recv`.
+        if (delivered <= now || self.cfg.noise.is_none()) && self.inline_depth < INLINE_DEPTH_MAX {
+            self.inline_depth += 1;
+            self.on_delivered(id, delivered);
+            self.inline_depth -= 1;
+        } else {
+            self.push_event(delivered, QEvent::KIND_DELIVERED, uid, id as u32);
+        }
+    }
+
+    fn on_delivered(&mut self, id: usize, now: SimTime) {
+        match self.msgs[id].state {
+            MsgState::WaitingDelivery => {
+                let recv = self.msgs[id].recv.expect("matched message must have recv info");
+                let l = self.msgs[id].dst as usize - self.r0;
+                let o_r = self.platform.recv_overhead;
+                let done = now.max(recv.posted_at) + self.perturb(l, o_r);
+                if recv.wake == NIL {
+                    self.finish_recv(id, l, recv.slot as usize, done, None);
+                    self.ranks[l].local = done;
+                    self.ranks[l].status = Status::Runnable;
+                    self.step(l);
+                    if !self.resume_inline(l) {
+                        self.schedule_wake(l, done);
+                    }
+                } else {
+                    self.finish_recv(id, l, recv.slot as usize, done, Some(recv.wake as usize));
+                }
+            }
+            MsgState::Unmatched => {
+                self.msgs[id].state = MsgState::DeliveredUnmatched(now);
+            }
+            s => {
+                self.fail(format!("message {id} delivered in unexpected state {s:?}"));
+            }
+        }
+    }
+
+    /// Write payload into the slot, complete the request if any, retire msg.
+    fn finish_recv(&mut self, id: usize, l: usize, slot: Slot, done: SimTime, req: Option<ReqId>) {
+        if self.cfg.record_messages {
+            let m = &self.msgs[id];
+            self.msg_events.push(MsgEvent {
+                src: m.src as usize,
+                dst: m.dst as usize,
+                tag: m.tag,
+                bytes: m.bytes,
+                sent: m.ready,
+                delivered: done,
+            });
+        }
+        if self.cfg.track_data {
+            if let Some(v) = self.msgs[id].payload.take() {
+                self.slots[l][slot] = v;
+            }
+        }
+        self.msgs[id].state = MsgState::Done;
+        if !self.owns(self.msgs[id].src as usize) {
+            self.uid_map.remove(&self.msgs[id].uid);
+        }
+        self.retire_msg(id);
+        if let Some(r) = req {
+            self.complete_req(l, r, done);
+        }
+    }
+
+    fn complete_req(&mut self, l: usize, req: ReqId, t: SimTime) {
+        let slot = self.req(l, req);
+        debug_assert!(matches!(*slot, ReqState::Pending | ReqState::PendingWaited));
+        let waited = matches!(*slot, ReqState::PendingWaited);
+        *slot = ReqState::Done(t);
+        if waited {
+            // The rank is parked on a WaitAll listing this request; fold
+            // the completion into its cached countdown and resume once the
+            // last one lands.
+            let st = &mut self.ranks[l];
+            st.wa_t = st.wa_t.max(t);
+            st.wa_left -= 1;
+            if st.wa_left == 0 {
+                let t_resume = st.wa_t;
+                if !self.resume_inline(l) {
+                    self.schedule_wake(l, t_resume);
+                }
+            }
+        }
+    }
+
+    /// First encounter with a WaitAll while the rank is running. Scans the
+    /// request list exactly once: completed requests contribute their time,
+    /// still-pending ones are marked [`ReqState::PendingWaited`] and counted
+    /// into the rank's cached countdown. Returns true if the op completed
+    /// inline (all requests were already done).
+    fn enter_waitall(&mut self, l: usize) -> bool {
+        // `comp` borrows the job with the outer lifetime, so `reqs` does
+        // not pin `self` while the loop mutates the request arena.
+        let reqs = self.wait_reqs(l);
+        let base = self.req_base[l] as usize;
+        let mut t = self.ranks[l].local;
+        let mut left = 0u32;
+        for &r in reqs {
+            match self.reqs[base + r as usize] {
+                ReqState::Done(d) => t = t.max(d),
+                ReqState::Pending => {
+                    self.reqs[base + r as usize] = ReqState::PendingWaited;
+                    left += 1;
+                }
+                // Same request listed twice in one WaitAll: already counted.
+                ReqState::PendingWaited => {}
+                ReqState::Free => {
+                    let rank = self.g(l);
+                    self.fail(format!("rank {rank} waits on request {r} that was never started"));
+                    return false;
+                }
+            }
+        }
+        if left == 0 {
+            for &r in reqs {
+                self.reqs[base + r as usize] = ReqState::Free;
+            }
+            self.ranks[l].local = t;
+            true
+        } else {
+            let st = &mut self.ranks[l];
+            st.wa_left = left;
+            st.wa_t = t;
+            false
+        }
+    }
+
+    /// Request list of the WaitAll rank `l` currently points at.
+    #[inline]
+    fn wait_reqs(&self, l: usize) -> &'a [u32] {
+        let comp = self.comp;
+        match comp.ops[self.ranks[l].op_i as usize] {
+            COp::WaitAll { off, len } => &comp.wait_reqs[off as usize..(off + len) as usize],
+            _ => unreachable!("wait_reqs called on non-WaitAll op"),
+        }
+    }
+
+    /// Attempt to complete the WaitAll the rank is parked on. On success the
+    /// rank's local time advances and the requests are freed.
+    fn try_waitall(&mut self, l: usize) -> bool {
+        if self.ranks[l].wa_left > 0 {
+            return false;
+        }
+        let reqs = self.wait_reqs(l);
+        let base = self.req_base[l] as usize;
+        for &r in reqs {
+            self.reqs[base + r as usize] = ReqState::Free;
+        }
+        self.ranks[l].local = self.ranks[l].wa_t;
+        true
+    }
+
+    // -- message table ------------------------------------------------------
+
+    fn alloc_msg(&mut self, m: Msg) -> usize {
+        self.live_msgs += 1;
+        if self.live_msgs > self.live_msgs_hwm {
+            self.live_msgs_hwm = self.live_msgs;
+        }
+        if let Some(id) = self.free_msgs.pop() {
+            self.msgs[id as usize] = m;
+            id as usize
+        } else {
+            self.msgs.push(m);
+            self.msgs.len() - 1
+        }
+    }
+
+    fn retire_msg(&mut self, id: usize) {
+        self.msgs[id].payload = None;
+        self.free_msgs.push(id as u32);
+        self.live_msgs -= 1;
+    }
+
+    // -- output extraction --------------------------------------------------
+
+    /// Move this partition's per-rank results out (consumes the part).
+    pub(super) fn into_results(self) -> PartResults {
+        PartResults {
+            finish: self.finish,
+            phases: self.phases,
+            slots: if self.cfg.track_data { Some(self.slots) } else { None },
+            data_errors: self.data_errors,
+            msg_events: self.msg_events,
+            events: self.events,
+            messages: self.messages,
+        }
+    }
+}
+
+/// Per-partition outputs, merged by [`super::assemble`].
+pub(super) struct PartResults {
+    pub(super) finish: Vec<SimTime>,
+    pub(super) phases: Vec<PhaseRecord>,
+    pub(super) slots: Option<Vec<Vec<Value>>>,
+    pub(super) data_errors: Vec<(u32, String)>,
+    pub(super) msg_events: Vec<MsgEvent>,
+    pub(super) events: u64,
+    pub(super) messages: u64,
+}
+

@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compiled;
 pub mod data;
 pub mod engine;
 pub mod noise;
@@ -58,7 +59,7 @@ pub mod time;
 pub mod timeline;
 
 pub use data::{RankSet, Value};
-pub use engine::{run, run_ref, RunOutcome, SimError};
+pub use engine::{run, run_auto, run_par, run_ref, RunOutcome, SimError};
 pub use noise::NoiseModel;
 pub use platform::{LinkParams, MachineId, Platform};
 pub use program::{CommDir, CommMeta, Job, Label, Op, RankProgram, Segment};
@@ -84,11 +85,21 @@ pub struct SimConfig {
     /// tracing view of a run). Costs memory proportional to the message
     /// count; off by default.
     pub record_messages: bool,
+    /// Record one [`engine::PhaseRecord`] per labelled segment per rank. On
+    /// by default (the tracer/harness layers consume phases); switch off for
+    /// 100K-rank scale runs where the records alone dominate memory.
+    pub record_phases: bool,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        Self { seed: 0x5eed, track_data: false, noise: NoiseModel::None, record_messages: false }
+        Self {
+            seed: 0x5eed,
+            track_data: false,
+            noise: NoiseModel::None,
+            record_messages: false,
+            record_phases: true,
+        }
     }
 }
 

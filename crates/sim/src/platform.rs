@@ -123,10 +123,15 @@ pub struct Platform {
 impl Platform {
     /// Build a platform preset with `ranks` MPI ranks.
     ///
+    /// Rank counts beyond the preset's validated baseline capacity scale
+    /// the machine out with identical additional nodes (same per-node core
+    /// count and link parameters) — the synthetic growth used by the
+    /// 10K–100K-rank scale benchmarks and `papctl --ranks`.
+    ///
     /// # Panics
-    /// Panics if `ranks` is zero or exceeds the machine capacity.
+    /// Panics if `ranks` is zero.
     pub fn preset(machine: MachineId, ranks: usize) -> Self {
-        let p = match machine {
+        let mut p = match machine {
             MachineId::SimCluster => Self {
                 machine,
                 nodes: 32,
@@ -185,13 +190,9 @@ impl Platform {
             },
         };
         assert!(ranks > 0, "platform needs at least one rank");
-        assert!(
-            ranks <= p.nodes * p.cores_per_node,
-            "{} ranks exceed capacity {} of {}",
-            ranks,
-            p.nodes * p.cores_per_node,
-            machine.name()
-        );
+        if ranks > p.nodes * p.cores_per_node {
+            p.nodes = ranks.div_ceil(p.cores_per_node);
+        }
         p
     }
 
@@ -278,9 +279,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn capacity_is_enforced() {
-        let _ = Platform::simcluster(32 * 32 + 1);
+    fn oversubscribed_rank_counts_scale_the_machine_out() {
+        let p = Platform::simcluster(32 * 32 + 1);
+        assert_eq!(p.nodes, 33, "one extra node for the overflow rank");
+        assert_eq!(p.occupied_nodes(), 33);
+        let big = Platform::simcluster(102_400);
+        assert_eq!(big.nodes, 3200);
+        // Baseline capacity keeps the validated topology untouched.
+        assert_eq!(Platform::simcluster(1024).nodes, 32);
     }
 
     #[test]

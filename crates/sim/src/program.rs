@@ -424,12 +424,26 @@ impl RankProgram {
 pub struct Job {
     /// Per-rank programs; `programs.len()` is the number of ranks.
     pub programs: Vec<RankProgram>,
+    /// Per-rank request-arena sizes, computed lazily on first run. At 10K+
+    /// ranks the full-program scan is a measurable slice of a single run,
+    /// and jobs are routinely re-run (sweeps, repetitions, partitions), so
+    /// the result is cached. `programs` must not be mutated after the
+    /// first run of the job.
+    req_counts: std::sync::OnceLock<Vec<u32>>,
+    /// Flattened engine form (see [`crate::compiled`]), built lazily on the
+    /// first run and shared by all later runs and partitions. Same caching
+    /// contract as `req_counts`.
+    compiled: std::sync::OnceLock<crate::compiled::CompiledJob>,
 }
 
 impl Job {
     /// Build a job from per-rank programs.
     pub fn new(programs: Vec<RankProgram>) -> Self {
-        Job { programs }
+        Job {
+            programs,
+            req_counts: std::sync::OnceLock::new(),
+            compiled: std::sync::OnceLock::new(),
+        }
     }
 
     /// Number of ranks.
@@ -445,6 +459,18 @@ impl Job {
     /// Requests needed per rank (max referenced request + 1).
     pub fn reqs_needed(&self, rank: usize) -> usize {
         self.programs[rank].max_req().map_or(0, |m| m + 1)
+    }
+
+    /// Requests needed for every rank (cached; see [`Job`] field docs).
+    pub fn req_counts(&self) -> &[u32] {
+        self.req_counts.get_or_init(|| {
+            self.programs.iter().map(|p| p.max_req().map_or(0, |m| m as u32 + 1)).collect()
+        })
+    }
+
+    /// The flattened engine form (cached; see [`crate::compiled`]).
+    pub(crate) fn compiled(&self) -> &crate::compiled::CompiledJob {
+        self.compiled.get_or_init(|| crate::compiled::CompiledJob::build(self))
     }
 
     /// Total op count (sizing diagnostics).

@@ -1,0 +1,125 @@
+//! Property test pinning the calendar queue to the reference binary heap:
+//! for *arbitrary* interleaved push/pop sequences the two implementations
+//! must pop the exact same event sequence.
+//!
+//! This is the safety net for [`pap_sim::engine::queue`]'s invariant that
+//! bucket membership (`floor(t / width)`) is monotone in `t` — floating
+//! point edge rounding may place an event a bucket early or late, but can
+//! never reorder pops. Times are drawn from a small set of multiples so
+//! exact FP ties (equal `t`, differing kind/uid/idx) occur constantly, and
+//! three widths exercise the sub-bucket, ring, and overflow-lap regimes.
+
+use pap_sim::engine::queue::{EventQueue, QEvent};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum QOp {
+    Push(QEvent),
+    Pop,
+}
+
+fn event_strategy() -> impl Strategy<Value = QEvent> {
+    // `k * 0.37µs` makes ties across independently drawn events common
+    // while still spanning ~190µs (hundreds of calendar buckets at the
+    // narrow width, several overflow laps at the narrowest).
+    (0u64..512, 0u8..4, 0u64..16, 0u32..8)
+        .prop_map(|(k, kind, uid, idx)| QEvent { t: k as f64 * 0.37e-6, kind, uid, idx })
+}
+
+fn op_strategy() -> impl Strategy<Value = QOp> {
+    // ~3:1 push:pop mix (the vendored proptest has no weighted arms).
+    prop_oneof![
+        event_strategy().prop_map(QOp::Push),
+        event_strategy().prop_map(QOp::Push),
+        event_strategy().prop_map(QOp::Push),
+        Just(QOp::Pop),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn calendar_pop_order_equals_heap(
+        ops in proptest::collection::vec(op_strategy(), 0..500),
+        width_sel in 0usize..3,
+    ) {
+        // Narrow (events span many laps), natural (≈ event spacing), and
+        // wide (everything lands in a handful of buckets).
+        let width = [0.1e-6, 1e-6, 64e-6][width_sel];
+        let mut h = EventQueue::heap();
+        let mut c = EventQueue::calendar(width);
+        for op in ops {
+            match op {
+                QOp::Push(e) => {
+                    h.push(e);
+                    c.push(e);
+                }
+                QOp::Pop => {
+                    prop_assert_eq!(h.pop(), c.pop());
+                }
+            }
+            prop_assert_eq!(h.len(), c.len());
+        }
+        // Drain whatever is left; order must still agree exactly.
+        loop {
+            let (a, b) = (h.pop(), c.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}
+
+/// Exact FP ties: same timestamp, every kind, shuffled insertion order.
+/// The pop order must be the canonical key order regardless of queue.
+#[test]
+fn fp_tie_timestamps_pop_in_canonical_order() {
+    let t = 3.000000000000001e-6; // not representable as a clean multiple
+    let mut events = Vec::new();
+    for kind in (0u8..4).rev() {
+        for uid in (0u64..4).rev() {
+            events.push(QEvent { t, kind, uid, idx: uid as u32 });
+        }
+    }
+    // A second tie group one ULP away must stay strictly after the first.
+    let t2 = f64::from_bits(t.to_bits() + 1);
+    events.push(QEvent { t: t2, kind: 0, uid: 0, idx: 0 });
+
+    let mut h = EventQueue::heap();
+    let mut c = EventQueue::calendar(1e-6);
+    for &e in &events {
+        h.push(e);
+        c.push(e);
+    }
+    let mut prev: Option<QEvent> = None;
+    loop {
+        let (a, b) = (h.pop(), c.pop());
+        assert_eq!(a, b);
+        let Some(e) = a else { break };
+        if let Some(p) = prev {
+            assert!(
+                (p.t, p.kind, p.uid, p.idx) <= (e.t, e.kind, e.uid, e.idx),
+                "pop order regressed: {p:?} then {e:?}"
+            );
+        }
+        prev = Some(e);
+    }
+}
+
+/// Events exactly on bucket boundaries (`t = k * width`) — the rounding
+/// edge case the monotone bucket-index argument is about.
+#[test]
+fn bucket_boundary_times_agree() {
+    let width = 1e-6;
+    let mut h = EventQueue::heap();
+    let mut c = EventQueue::calendar(width);
+    for k in (0u64..100).rev() {
+        let e = QEvent { t: k as f64 * width, kind: (k % 4) as u8, uid: k, idx: k as u32 };
+        h.push(e);
+        c.push(e);
+    }
+    while let Some(a) = h.pop() {
+        assert_eq!(Some(a), c.pop());
+    }
+    assert!(c.pop().is_none());
+}
