@@ -1,0 +1,268 @@
+//! Degraded-mode selection: the Fig. 6 robustness metric extended from
+//! arrival skew to runtime faults.
+//!
+//! A [`FaultMatrix`] is the `(scenario × algorithm)` analogue of
+//! [`crate::BenchMatrix`], assembled from a
+//! [`pap_microbench::FaultSweepResult`]. Its headline derived quantity is
+//! per-cell **degradation** `d̂_scenario/d̂_clean − 1` — exactly the
+//! robustness-vs-no-delay semantics of Fig. 6, with the clean (fault-free)
+//! run as the baseline and `None` for cells whose algorithm never finished
+//! (a crash starved its schedule). The fault-robust selection policy
+//! prefers algorithms with *bounded worst-case degradation*: among those
+//! whose worst scenario stays under a bound, pick the fastest clean one;
+//! if none qualify, fall back to minimax (the smallest worst case).
+
+use pap_collectives::CollectiveKind;
+use pap_microbench::FaultSweepResult;
+use serde::{Deserialize, Serialize};
+
+use crate::report::render_table;
+
+/// `(scenario × algorithm)` grid of degraded-mode runtimes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultMatrix {
+    /// Collective under study.
+    pub kind: CollectiveKind,
+    /// Message size (bytes).
+    pub bytes: u64,
+    /// Algorithm IDs (columns).
+    pub algs: Vec<u8>,
+    /// Scenario names (rows); `"clean"` must be present and complete — it
+    /// is the baseline every degradation is measured against.
+    pub scenarios: Vec<String>,
+    /// `values[row][col]` = mean last delay `d̂` of `algs[col]` under
+    /// `scenarios[row]` in seconds, or `None` when the algorithm could not
+    /// finish under the scenario.
+    pub values: Vec<Vec<Option<f64>>>,
+}
+
+impl FaultMatrix {
+    /// Assemble from a fault sweep.
+    ///
+    /// # Panics
+    /// Panics if the sweep grid is incomplete or has no complete `clean`
+    /// row (a baseline that crashed measures nothing).
+    pub fn from_fault_sweep(sweep: &FaultSweepResult) -> Self {
+        let values: Vec<Vec<Option<f64>>> = sweep
+            .scenarios
+            .iter()
+            .map(|s| {
+                sweep
+                    .algs
+                    .iter()
+                    .map(|&a| {
+                        sweep
+                            .cell(a, s)
+                            .unwrap_or_else(|| panic!("missing fault cell ({a}, {s})"))
+                            .mean_last
+                    })
+                    .collect()
+            })
+            .collect();
+        let m = FaultMatrix {
+            kind: sweep.kind,
+            bytes: sweep.bytes,
+            algs: sweep.algs.clone(),
+            scenarios: sweep.scenarios.clone(),
+            values,
+        };
+        let clean = m.scenario_index("clean").expect("fault matrix needs a clean row");
+        assert!(
+            m.values[clean].iter().all(Option::is_some),
+            "clean row must be complete (an algorithm that fails without faults measures nothing)"
+        );
+        m
+    }
+
+    /// Index of a scenario row.
+    pub fn scenario_index(&self, scenario: &str) -> Option<usize> {
+        self.scenarios.iter().position(|s| s == scenario)
+    }
+
+    /// Index of an algorithm column.
+    pub fn alg_index(&self, alg: u8) -> Option<usize> {
+        self.algs.iter().position(|&a| a == alg)
+    }
+
+    /// Per-cell degradation `d̂_scenario/d̂_clean − 1` (the Fig. 6 metric
+    /// with the clean run as baseline). `None` where the algorithm never
+    /// finished. Returns `None` if there is no `clean` row.
+    pub fn degradation(&self) -> Option<Vec<Vec<Option<f64>>>> {
+        let clean = self.scenario_index("clean")?;
+        Some(
+            self.values
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .enumerate()
+                        .map(|(c, v)| {
+                            let base = self.values[clean][c]?;
+                            Some((*v)? / base - 1.0)
+                        })
+                        .collect()
+                })
+                .collect(),
+        )
+    }
+
+    /// Per-algorithm worst-case degradation over all scenarios;
+    /// `f64::INFINITY` where any scenario starved the algorithm. This is
+    /// the quantity the fault-robust policy bounds.
+    pub fn worst_case_degradation(&self) -> Option<Vec<f64>> {
+        let deg = self.degradation()?;
+        Some(
+            (0..self.algs.len())
+                .map(|c| {
+                    deg.iter()
+                        .map(|row| row[c].unwrap_or(f64::INFINITY))
+                        .fold(f64::NEG_INFINITY, f64::max)
+                })
+                .collect(),
+        )
+    }
+
+    /// Scenarios (beyond `clean`) on which `alg` finished.
+    pub fn survived(&self, alg: u8) -> Vec<&str> {
+        let Some(c) = self.alg_index(alg) else { return Vec::new() };
+        self.scenarios
+            .iter()
+            .zip(&self.values)
+            .filter(|(s, row)| s.as_str() != "clean" && row[c].is_some())
+            .map(|(s, _)| s.as_str())
+            .collect()
+    }
+}
+
+/// Fault-robust selection: among algorithms whose worst-case degradation
+/// stays within `max_degradation` (e.g. `1.0` = at most 2× slower under
+/// any scenario), pick the one fastest on the clean row. When no algorithm
+/// qualifies, fall back to minimax — the smallest worst-case degradation,
+/// clean runtime as tie-break. Errors when the matrix lacks a clean row.
+pub fn select_fault_robust(m: &FaultMatrix, max_degradation: f64) -> Result<u8, String> {
+    let clean = m
+        .scenario_index("clean")
+        .ok_or_else(|| "fault matrix has no clean row".to_string())?;
+    let worst = m
+        .worst_case_degradation()
+        .ok_or_else(|| "fault matrix has no clean row".to_string())?;
+    if m.algs.is_empty() {
+        return Err("empty fault matrix".to_string());
+    }
+    let clean_time = |c: usize| m.values[clean][c].unwrap_or(f64::INFINITY);
+    let bounded: Vec<usize> =
+        (0..m.algs.len()).filter(|&c| worst[c] <= max_degradation).collect();
+    let pick = if bounded.is_empty() {
+        // Minimax fallback: nothing is bounded, limit the damage.
+        (0..m.algs.len())
+            .min_by(|&a, &b| {
+                worst[a]
+                    .total_cmp(&worst[b])
+                    .then(clean_time(a).total_cmp(&clean_time(b)))
+            })
+            .expect("non-empty")
+    } else {
+        bounded
+            .into_iter()
+            .min_by(|&a, &b| clean_time(a).total_cmp(&clean_time(b)))
+            .expect("non-empty")
+    };
+    Ok(m.algs[pick])
+}
+
+/// Fig. 6-style rendering of the fault grid: degradation per cell with `#`
+/// marking cells beyond `threshold` and `X` marking starved cells (shown
+/// as `inf`).
+pub fn render_fault_table(m: &FaultMatrix, threshold: f64) -> Option<String> {
+    let deg = m.degradation()?;
+    let col_names: Vec<String> = m.algs.iter().map(|a| format!("A{a}")).collect();
+    let numeric: Vec<Vec<f64>> =
+        deg.iter().map(|row| row.iter().map(|v| v.unwrap_or(f64::INFINITY)).collect()).collect();
+    Some(render_table(
+        &format!(
+            "{} {} B — fault degradation (d̂_fault/d̂_clean − 1; #:≥{:.0}% slower, X: never finished)",
+            m.kind,
+            m.bytes,
+            threshold * 100.0
+        ),
+        &col_names,
+        &m.scenarios,
+        &numeric,
+        |v| if v.is_finite() { format!("{v:+.3}") } else { "inf".to_string() },
+        |r, c| match deg[r][c] {
+            None => 'X',
+            Some(v) if v >= threshold => '#',
+            _ => ' ',
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> FaultMatrix {
+        FaultMatrix {
+            kind: CollectiveKind::Reduce,
+            bytes: 1024,
+            algs: vec![1, 2, 3],
+            scenarios: vec!["clean".into(), "stall_root".into(), "crash_leaf".into()],
+            values: vec![
+                // Alg 1: fastest clean, dies under crash. Alg 2: slower
+                // clean, survives everything within bounds. Alg 3:
+                // survives but degrades badly under stall.
+                vec![Some(1.0), Some(1.5), Some(2.0)],
+                vec![Some(1.8), Some(2.0), Some(7.0)],
+                vec![None, Some(1.8), Some(2.4)],
+            ],
+        }
+    }
+
+    #[test]
+    fn degradation_uses_clean_baseline() {
+        let d = matrix().degradation().unwrap();
+        assert!(d[0].iter().all(|v| v.unwrap().abs() < 1e-12), "clean row is all zeros");
+        assert!((d[1][0].unwrap() - 0.8).abs() < 1e-12);
+        assert_eq!(d[2][0], None, "starved cell stays None");
+    }
+
+    #[test]
+    fn worst_case_is_infinite_for_starved_algorithms() {
+        let w = matrix().worst_case_degradation().unwrap();
+        assert_eq!(w[0], f64::INFINITY);
+        assert!((w[1] - 0.3333333333333333).abs() < 1e-9, "{w:?}");
+        assert!((w[2] - 2.5).abs() < 1e-9, "{w:?}");
+    }
+
+    #[test]
+    fn fault_robust_bounds_worst_case_then_prefers_clean_speed() {
+        let m = matrix();
+        // Bound 1.0: only alg 2 qualifies (alg 1 starves, alg 3 degrades
+        // 2.5×) — the status-quo clean winner (alg 1) is overruled.
+        assert_eq!(select_fault_robust(&m, 1.0).unwrap(), 2);
+        // Generous bound 3.0: algs 2 and 3 qualify; alg 2 is faster clean.
+        assert_eq!(select_fault_robust(&m, 3.0).unwrap(), 2);
+    }
+
+    #[test]
+    fn fault_robust_falls_back_to_minimax() {
+        // Impossible bound: nothing qualifies; minimax picks alg 2 (worst
+        // case 0.33 beats 2.5 and inf).
+        assert_eq!(select_fault_robust(&matrix(), 0.01).unwrap(), 2);
+    }
+
+    #[test]
+    fn survived_lists_non_clean_scenarios() {
+        let m = matrix();
+        assert_eq!(m.survived(1), vec!["stall_root"]);
+        assert_eq!(m.survived(2), vec!["stall_root", "crash_leaf"]);
+    }
+
+    #[test]
+    fn render_marks_starved_and_degraded_cells() {
+        let s = render_fault_table(&matrix(), 0.5).unwrap();
+        assert!(s.contains('X'), "{s}");
+        assert!(s.contains('#'), "{s}");
+        assert!(s.contains("inf"), "{s}");
+        assert!(s.contains("stall_root"));
+    }
+}

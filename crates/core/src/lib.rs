@@ -25,6 +25,7 @@
 
 pub mod decision;
 pub mod diff;
+pub mod fault;
 pub mod matrix;
 pub mod predict;
 pub mod report;
@@ -34,8 +35,9 @@ pub mod tuner;
 
 pub use decision::{DecisionLogic, DecisionSource};
 pub use diff::{differential_grid, kendall, spearman, DiffCell};
+pub use fault::{render_fault_table, select_fault_robust, FaultMatrix};
 pub use matrix::BenchMatrix;
 pub use predict::{predict_app_runtime, AppPrediction};
-pub use selection::{select, SelectionPolicy};
+pub use selection::{select, select_with_faults, SelectionPolicy};
 pub use table::{TuningEntry, TuningTable};
 pub use tuner::{tune_machine, TunePlan, TuneRecord};

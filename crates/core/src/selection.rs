@@ -1,7 +1,9 @@
-//! Selection policies: the status quo vs. the paper's robust selection.
+//! Selection policies: the status quo vs. the paper's robust selection,
+//! plus the fault-robust extension (degraded-mode selection).
 
 use serde::{Deserialize, Serialize};
 
+use crate::fault::{select_fault_robust, FaultMatrix};
 use crate::matrix::BenchMatrix;
 
 /// How to pick an algorithm from a benchmark matrix.
@@ -21,6 +23,15 @@ pub enum SelectionPolicy {
     /// Oracle with knowledge of one specific pattern (e.g. the traced
     /// FT-Scenario): the fastest algorithm under that pattern.
     BestUnderPattern(String),
+    /// Degraded-mode extension: among algorithms whose worst-case
+    /// degradation across the fault grid stays within `max_degradation`,
+    /// the one fastest on the clean row (minimax fallback when none
+    /// qualify). Needs a [`FaultMatrix`] — use [`select_with_faults`].
+    FaultRobust {
+        /// Worst-case degradation bound (`1.0` = at most 2× slower under
+        /// any fault scenario).
+        max_degradation: f64,
+    },
 }
 
 impl SelectionPolicy {
@@ -49,6 +60,28 @@ pub fn select(matrix: &BenchMatrix, policy: &SelectionPolicy) -> Result<u8, Stri
         SelectionPolicy::BestUnderPattern(p) => matrix
             .best_in(p)
             .ok_or_else(|| format!("matrix has no pattern '{p}'")),
+        SelectionPolicy::FaultRobust { .. } => Err(
+            "FaultRobust needs a fault matrix; use select_with_faults".to_string()
+        ),
+    }
+}
+
+/// Like [`select`], but with an optional fault grid: the
+/// [`SelectionPolicy::FaultRobust`] policy draws on `faults`, every other
+/// policy ignores it and behaves exactly like [`select`].
+pub fn select_with_faults(
+    matrix: &BenchMatrix,
+    faults: Option<&FaultMatrix>,
+    policy: &SelectionPolicy,
+) -> Result<u8, String> {
+    match policy {
+        SelectionPolicy::FaultRobust { max_degradation } => {
+            let fm = faults.ok_or_else(|| {
+                "FaultRobust policy requires a measured fault matrix".to_string()
+            })?;
+            select_fault_robust(fm, *max_degradation)
+        }
+        other => select(matrix, other),
     }
 }
 
@@ -97,5 +130,35 @@ mod tests {
         let policy = SelectionPolicy::BestUnderPattern("ft_scenario".into());
         assert_eq!(select(&matrix(), &policy).unwrap(), 2);
         assert!(select(&matrix(), &SelectionPolicy::BestUnderPattern("x".into())).is_err());
+    }
+
+    #[test]
+    fn fault_robust_policy_needs_a_fault_matrix() {
+        let policy = SelectionPolicy::FaultRobust { max_degradation: 1.0 };
+        assert!(select(&matrix(), &policy).is_err());
+        assert!(select_with_faults(&matrix(), None, &policy).is_err());
+    }
+
+    #[test]
+    fn fault_robust_policy_flips_the_no_delay_choice() {
+        // Alg 1 is the clean/no-delay winner but starves under crash_leaf;
+        // the fault-robust policy routes around it.
+        let fm = FaultMatrix {
+            kind: CollectiveKind::Alltoall,
+            bytes: 32768,
+            algs: vec![1, 2, 3],
+            scenarios: vec!["clean".into(), "crash_leaf".into()],
+            values: vec![
+                vec![Some(1.0), Some(1.3), Some(1.4)],
+                vec![None, Some(1.5), Some(2.9)],
+            ],
+        };
+        let policy = SelectionPolicy::FaultRobust { max_degradation: 1.0 };
+        assert_eq!(select_with_faults(&matrix(), Some(&fm), &policy).unwrap(), 2);
+        // Non-fault policies ignore the grid entirely.
+        assert_eq!(
+            select_with_faults(&matrix(), Some(&fm), &SelectionPolicy::NoDelayFastest).unwrap(),
+            1
+        );
     }
 }

@@ -1,0 +1,239 @@
+//! The fault grid: the Fig. 6 robustness methodology extended from arrival
+//! skew to runtime faults.
+//!
+//! Where [`crate::sweep`] asks *"how does each algorithm degrade when
+//! processes arrive late?"*, this module asks *"how does each algorithm
+//! degrade when the machine misbehaves mid-collective?"* — a rank freezes,
+//! a rank dies, a link slows down, a node range catches a noise storm. Each
+//! scenario is a named [`FaultSpec`]; the grid is `(algorithm × scenario)`
+//! and every cell re-measures the collective under that scenario.
+//!
+//! A cell whose algorithm *cannot finish* under the scenario (a crashed
+//! rank starves its dependents — the engine reports a deadlock) records
+//! `mean_last = None`: the degraded-mode analogue of an infinitely slow
+//! algorithm. [`pap_core`]'s fault matrix maps those to an unbounded
+//! worst-case degradation, which the fault-robust selection policy avoids.
+
+use pap_collectives::{CollSpec, CollectiveKind, TAG_SPAN};
+use pap_sim::{FaultSpec, Platform, SimError, ANY_NODE};
+use serde::{Deserialize, Serialize};
+
+use crate::harness::{measure, BenchConfig, BenchError, START_TARGET};
+use crate::sweep::derive_seed;
+
+/// A named fault scenario: one cell column of the fault grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultScenario {
+    /// Scenario name (the grid row label, e.g. `"stall_root"`).
+    pub name: String,
+    /// The faults injected while the collective runs.
+    pub faults: FaultSpec,
+}
+
+impl FaultScenario {
+    /// Build a named scenario.
+    pub fn new(name: impl Into<String>, faults: FaultSpec) -> Self {
+        FaultScenario { name: name.into(), faults }
+    }
+}
+
+/// The standard fault grid, scaled to a clean-run estimate `t` (seconds;
+/// use [`crate::calibrate_avg_runtime`]): every window is placed relative
+/// to the harmonized start so it actually overlaps the collective.
+///
+/// Scenarios:
+/// * `clean` — no faults (the baseline every degradation is measured
+///   against);
+/// * `stall_root` — rank 0 freezes for `2t` just after the collective
+///   starts (tree roots and bcast sources sit on the critical path);
+/// * `stall_mid` — a mid-tree rank (`p/2`) freezes for `2t`;
+/// * `link_degraded` — traffic out of node 0 is 8× slower for the whole
+///   collective window;
+/// * `storm_half` — ranks `[0, p/2)` compute 4× slower for the whole
+///   window (correlated OS-noise storm);
+/// * `crash_leaf` — the last rank dies just as the collective starts;
+///   algorithms whose schedule needs that rank's cooperation never finish.
+pub fn standard_grid(p: usize, t: f64) -> Vec<FaultScenario> {
+    let start = START_TARGET;
+    let window = start + 4.0 * t.max(1e-6);
+    let stall = 2.0 * t.max(1e-6);
+    vec![
+        FaultScenario::new("clean", FaultSpec::none()),
+        FaultScenario::new(
+            "stall_root",
+            FaultSpec::none().with_stall(0, start + 0.1 * t, stall),
+        ),
+        FaultScenario::new(
+            "stall_mid",
+            FaultSpec::none().with_stall(p / 2, start + 0.1 * t, stall),
+        ),
+        FaultScenario::new(
+            "link_degraded",
+            FaultSpec::none().with_link(0, ANY_NODE, start, window, 8.0),
+        ),
+        FaultScenario::new(
+            "storm_half",
+            FaultSpec::none().with_storm(0, p / 2 - 1, start, window, 4.0),
+        ),
+        FaultScenario::new(
+            "crash_leaf",
+            FaultSpec::none().with_crash(p - 1, start + 0.05 * t),
+        ),
+    ]
+}
+
+/// One measured cell of the fault grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultCell {
+    /// Algorithm ID.
+    pub alg: u8,
+    /// Scenario name.
+    pub scenario: String,
+    /// Mean last delay `d̂` over the surviving ranks, or `None` when the
+    /// algorithm could not finish under the scenario (starved dependents).
+    pub mean_last: Option<f64>,
+}
+
+/// Results of one (collective, message size) fault sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultSweepResult {
+    /// Collective kind.
+    pub kind: CollectiveKind,
+    /// Message size (bytes, collective convention).
+    pub bytes: u64,
+    /// Algorithm IDs in sweep order.
+    pub algs: Vec<u8>,
+    /// Scenario names in sweep order.
+    pub scenarios: Vec<String>,
+    /// All cells (algs × scenarios), algorithm-major.
+    pub cells: Vec<FaultCell>,
+}
+
+impl FaultSweepResult {
+    /// The cell of (algorithm, scenario), if present.
+    pub fn cell(&self, alg: u8, scenario: &str) -> Option<&FaultCell> {
+        self.cells.iter().find(|c| c.alg == alg && c.scenario == scenario)
+    }
+}
+
+/// Run the `(algorithms × scenarios)` fault grid for one collective and
+/// message size. Cells fan out over [`pap_parallel::par_map`] with derived
+/// seeds and disjoint tag ranges, exactly like [`crate::sweep`], so the
+/// result is byte-identical at any thread count. The arrival pattern is
+/// `NoDelay` throughout: the grid isolates fault response from skew
+/// response (compose with [`crate::sweep`] for the combined picture).
+pub fn fault_sweep(
+    platform: &Platform,
+    kind: CollectiveKind,
+    algs: &[u8],
+    bytes: u64,
+    scenarios: &[FaultScenario],
+    cfg: &BenchConfig,
+) -> Result<FaultSweepResult, BenchError> {
+    let p = platform.ranks;
+    let nodelay = pap_arrival::generate(pap_arrival::Shape::NoDelay, p, 0.0, 0);
+
+    let mut grid: Vec<(u8, u64, &FaultScenario)> = Vec::new();
+    for (ai, &alg) in algs.iter().enumerate() {
+        for (si, scenario) in scenarios.iter().enumerate() {
+            grid.push((alg, (ai * scenarios.len() + si) as u64, scenario));
+        }
+    }
+
+    let runs = pap_parallel::par_map(&grid, |gi, &(alg, cell_id, scenario)| {
+        let spec = CollSpec::new(kind, alg, bytes).with_tag_base(cell_id * 8 * TAG_SPAN);
+        let run_cfg = cfg
+            .clone()
+            .with_seed(derive_seed(cfg.seed, gi as u64))
+            .with_faults(scenario.faults.clone());
+        match measure(platform, &spec, &nodelay, &run_cfg) {
+            Ok(stats) => {
+                pap_obs::pump_spans();
+                Ok(FaultCell { alg, scenario: scenario.name.clone(), mean_last: Some(stats.mean_last()) })
+            }
+            // A deadlock here is the *measured outcome* of the scenario —
+            // the schedule needs a dead rank — not a harness failure.
+            Err(BenchError::Sim(SimError::Deadlock { .. })) => {
+                Ok(FaultCell { alg, scenario: scenario.name.clone(), mean_last: None })
+            }
+            Err(e) => Err(e),
+        }
+    });
+    let cells = runs.into_iter().collect::<Result<Vec<_>, _>>()?;
+
+    Ok(FaultSweepResult {
+        kind,
+        bytes,
+        algs: algs.to_vec(),
+        scenarios: scenarios.iter().map(|s| s.name.clone()).collect(),
+        cells,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_grid_is_valid_and_scaled() {
+        let p = 16;
+        let grid = standard_grid(p, 1e-4);
+        assert_eq!(grid.len(), 6);
+        assert!(grid[0].faults.is_none(), "first scenario is the clean baseline");
+        let platform = Platform::simcluster(p);
+        for s in &grid {
+            s.faults
+                .validate(platform.ranks, platform.nodes)
+                .unwrap_or_else(|e| panic!("scenario {} invalid: {e}", s.name));
+        }
+    }
+
+    #[test]
+    fn fault_sweep_covers_grid_and_degrades_faulted_cells() {
+        let platform = Platform::simcluster(8);
+        let cfg = BenchConfig::simulation();
+        let t = crate::no_delay_runtime(&platform, CollectiveKind::Reduce, 5, 1024, &cfg, 0)
+            .unwrap();
+        let scenarios = standard_grid(8, t);
+        let res =
+            fault_sweep(&platform, CollectiveKind::Reduce, &[5, 6], 1024, &scenarios, &cfg).unwrap();
+        assert_eq!(res.cells.len(), 12);
+        for alg in [5u8, 6] {
+            let clean = res.cell(alg, "clean").unwrap().mean_last.unwrap();
+            let stalled = res.cell(alg, "stall_root").unwrap().mean_last.unwrap();
+            assert!(
+                stalled > clean,
+                "alg {alg}: stalling the root must slow the collective ({stalled} vs {clean})"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_starved_cells_record_none() {
+        // Reduce needs every rank's contribution: killing a leaf before it
+        // sends starves the tree — the cell must record a clean None, not
+        // an error.
+        let platform = Platform::simcluster(8);
+        let cfg = BenchConfig::simulation();
+        let scenarios =
+            vec![FaultScenario::new("crash_leaf", FaultSpec::none().with_crash(7, START_TARGET))];
+        let res =
+            fault_sweep(&platform, CollectiveKind::Reduce, &[5], 1024, &scenarios, &cfg).unwrap();
+        assert_eq!(res.cell(5, "crash_leaf").unwrap().mean_last, None);
+    }
+
+    #[test]
+    fn fault_sweep_is_deterministic() {
+        let platform = Platform::simcluster(8);
+        let cfg = BenchConfig::simulation();
+        let scenarios = standard_grid(8, 1e-4);
+        let run = || {
+            serde_json::to_string(
+                &fault_sweep(&platform, CollectiveKind::Bcast, &[3, 5], 512, &scenarios, &cfg)
+                    .unwrap(),
+            )
+            .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -3,7 +3,9 @@
 use pap_arrival::ArrivalPattern;
 use pap_clocksync::{harmonize_starts, sync_cluster, ClusterClocks, Hca3Config};
 use pap_collectives::{build, BuildError, CollSpec};
-use pap_sim::{run_ref, Job, Label, NoiseModel, Op, Platform, RankProgram, SimConfig, SimError};
+use pap_sim::{
+    run_ref, FaultSpec, Job, Label, NoiseModel, Op, Platform, RankProgram, SimConfig, SimError,
+};
 use serde::{Deserialize, Serialize};
 
 /// Which prediction backend resolves a measurement cell.
@@ -59,7 +61,18 @@ pub struct BenchConfig {
     /// (matched against the platform's eager threshold) before the first
     /// simulator run and fail the cell on any error-severity finding.
     pub lint: bool,
+    /// Runtime faults injected into every repetition (crashes, stalls, link
+    /// slowdown windows, noise storms). Fault timestamps are absolute
+    /// simulated time; the measured collective starts at [`START_TARGET`]
+    /// plus the pattern delay, so scenario builders should offset windows
+    /// accordingly. Requires the [`Backend::Sim`] backend.
+    pub faults: FaultSpec,
 }
+
+/// The harmonized start instant of every measurement (seconds of simulated
+/// time): ranks sleep until here, then serve their arrival-pattern delay.
+/// Fault scenarios use this to place windows relative to the collective.
+pub const START_TARGET: f64 = 1e-3;
 
 impl Default for BenchConfig {
     fn default() -> Self {
@@ -71,6 +84,7 @@ impl Default for BenchConfig {
             hca3: Hca3Config::default(),
             backend: Backend::Sim,
             lint: false,
+            faults: FaultSpec::none(),
         }
     }
 }
@@ -105,6 +119,12 @@ impl BenchConfig {
         self.lint = true;
         self
     }
+
+    /// Inject a fault spec into every repetition (see [`BenchConfig::faults`]).
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
+    }
 }
 
 /// One repetition's metrics, from observed (calibrated-clock) timestamps.
@@ -135,6 +155,9 @@ pub enum BenchError {
     /// The pre-run static check found error-severity defects
     /// (`BenchConfig::lint`); the rendered report is attached.
     Lint(String),
+    /// Fault injection was requested with the analytical model backend,
+    /// which has no representation of runtime faults.
+    FaultsNeedSim,
 }
 
 impl std::fmt::Display for BenchError {
@@ -147,6 +170,9 @@ impl std::fmt::Display for BenchError {
                 write!(f, "pattern has {pattern} delays but platform has {ranks} ranks")
             }
             BenchError::Lint(report) => write!(f, "pre-run lint failed:\n{report}"),
+            BenchError::FaultsNeedSim => {
+                write!(f, "fault injection requires the sim backend (model has no fault model)")
+            }
         }
     }
 }
@@ -229,6 +255,9 @@ fn measure_inner(
     }
 
     if cfg.backend == Backend::Model {
+        if !cfg.faults.is_none() {
+            return Err(BenchError::FaultsNeedSim);
+        }
         // The analytical backend is deterministic and noise-free: one
         // evaluation stands in for all repetitions.
         let pred = pap_model::predict(platform, spec, pattern)?;
@@ -249,7 +278,7 @@ fn measure_inner(
     let noise = cfg.noise.unwrap_or(platform.default_noise);
     let label = Label { kind: spec.kind.label_kind(), seq: 0 };
     // Start far enough in the future that harmonize targets are reachable.
-    let target = 1e-3;
+    let target = START_TARGET;
 
     // Each repetition is an independent simulation; the schedule, harmonized
     // starts and pattern delays are identical across reps (only the noise
@@ -285,10 +314,17 @@ fn measure_inner(
             seed: cfg.seed.wrapping_add(rep as u64).wrapping_mul(0x9E37_79B9),
             track_data: false,
             noise,
+            faults: cfg.faults.clone(),
             ..SimConfig::default()
         };
         let out = run_ref(platform, &job, &sim_cfg)?;
-        debug_assert_eq!(out.phases_for_iter(label).count(), p);
+        // A crashed rank never exits its labeled segment, so faulted runs
+        // may legitimately record fewer than p phases; the metric folds
+        // below are over surviving ranks (degraded-mode semantics).
+        debug_assert!(
+            out.phases_for_iter(label).count() == p || cfg.faults.has_rank_faults(),
+            "phase records missing without rank faults"
+        );
 
         // Observe timestamps through the (possibly imperfect) clocks.
         let obs = |rank: usize, t: f64| match &clock_ctx {
@@ -305,6 +341,13 @@ fn measure_inner(
             max_a = max_a.max(a);
             min_a = min_a.min(a);
             max_e = max_e.max(e);
+        }
+        if !max_e.is_finite() {
+            // Every rank died inside the collective: there is no surviving
+            // exit to measure against.
+            return Err(BenchError::Sim(SimError::InvalidProgram(
+                "fault spec crashed every rank before the collective completed".into(),
+            )));
         }
         reps.push(Measurement { last_delay: max_e - max_a, total_delay: max_e - min_a });
     }

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod faultgrid;
 pub mod harness;
 pub mod predictor;
 pub mod profile;
@@ -30,8 +31,9 @@ pub mod stats;
 pub mod sweep;
 
 pub use adaptive::{measure_adaptive, relative_ci, AdaptiveStats, StopRule};
-pub use harness::{measure, Backend, BenchConfig, BenchError, Measurement};
+pub use faultgrid::{fault_sweep, standard_grid, FaultCell, FaultScenario, FaultSweepResult};
+pub use harness::{measure, Backend, BenchConfig, BenchError, Measurement, START_TARGET};
 pub use predictor::{predictor_for, ModelPredictor, Predictor, SimPredictor};
-pub use profile::{profile, Profile};
+pub use profile::{profile, profile_with_faults, Profile};
 pub use stats::RunStats;
-pub use sweep::{calibrate_avg_runtime, sweep, SkewPolicy, SweepCell, SweepResult};
+pub use sweep::{calibrate_avg_runtime, no_delay_runtime, sweep, SkewPolicy, SweepCell, SweepResult};

@@ -20,7 +20,9 @@ use pap_arrival::ArrivalPattern;
 use pap_collectives::registry::algorithm;
 use pap_collectives::{build, CollSpec};
 use pap_obs::ChromeTrace;
-use pap_sim::{run_ref, Job, Label, NoiseModel, Op, Platform, RankProgram, SimConfig};
+use pap_sim::{
+    run_ref, FaultSpec, Job, Label, NoiseModel, Op, Platform, RankProgram, SimConfig, SimError,
+};
 use serde::Content;
 
 use crate::harness::BenchError;
@@ -41,6 +43,10 @@ pub struct Profile {
     pub ranks: usize,
     /// Point-to-point messages (= flow arrows in the trace).
     pub messages: usize,
+    /// Ranks that crashed before completing the collective (their lanes
+    /// carry a `crashed` slice from the crash instant to the makespan;
+    /// `d̂`/`d*` are computed over the survivors).
+    pub crashed: usize,
 }
 
 /// Per-lane pending event, sorted by `(ts, order)` before emission so each
@@ -77,6 +83,22 @@ pub fn profile(
     pattern: &ArrivalPattern,
     seed: u64,
 ) -> Result<Profile, BenchError> {
+    profile_with_faults(platform, spec, pattern, seed, &FaultSpec::none())
+}
+
+/// [`profile`] with runtime faults injected: the timeline shows *where the
+/// schedule stalled* — `stall` slices over frozen ranks, a `crashed` slice
+/// from the crash instant to the makespan on every rank that died before
+/// completing the collective, and link/storm windows in the trace metadata.
+/// `d̂`/`d*` are folded over the surviving ranks (degraded-mode metric).
+/// Errors when the faults crash every rank before it completes.
+pub fn profile_with_faults(
+    platform: &Platform,
+    spec: &CollSpec,
+    pattern: &ArrivalPattern,
+    seed: u64,
+    faults: &FaultSpec,
+) -> Result<Profile, BenchError> {
     let p = platform.ranks;
     if pattern.len() != p {
         return Err(BenchError::PatternMismatch { pattern: pattern.len(), ranks: p });
@@ -102,11 +124,20 @@ pub fn profile(
         noise: NoiseModel::None,
         record_messages: true,
         ..SimConfig::default()
-    };
+    }
+    .with_faults(faults.clone());
     let out = run_ref(platform, &job, &sim_cfg)?;
 
+    // Ranks without a complete phase record crashed mid-collective; the
+    // delay metrics fold over the survivors (degraded-mode semantics,
+    // matching the measurement harness).
     let phases = out.phases_for(label);
-    debug_assert_eq!(phases.len(), p);
+    debug_assert!(phases.len() == p || faults.has_rank_faults(), "phase records missing without rank faults");
+    if phases.is_empty() {
+        return Err(BenchError::Sim(SimError::InvalidProgram(
+            "fault spec crashed every rank before the collective completed".into(),
+        )));
+    }
     let max_a = phases.iter().map(|r| r.enter).fold(f64::NEG_INFINITY, f64::max);
     let min_a = phases.iter().map(|r| r.enter).fold(f64::INFINITY, f64::min);
     let max_e = phases.iter().map(|r| r.exit).fold(f64::NEG_INFINITY, f64::max);
@@ -148,6 +179,75 @@ pub fn profile(
         lanes[rec.rank].push((us(rec.exit), LaneEvent::End));
     }
 
+    // Crashed ranks: no complete phase record; their lane carries a
+    // `crashed` slice from the crash instant (= the rank's finish time) to
+    // the end of the trace, so the timeline shows exactly where the
+    // schedule lost them.
+    let mut has_phase = vec![false; p];
+    for rec in &phases {
+        has_phase[rec.rank] = true;
+    }
+    let span_end = us(out.makespan());
+    let mut crashed = 0usize;
+    for (r, lane) in lanes.iter_mut().enumerate() {
+        if !has_phase[r] {
+            crashed += 1;
+            let at = us(out.finish[r]);
+            lane.push((
+                at,
+                LaneEvent::Begin {
+                    name: "crashed".to_string(),
+                    cat: "fault",
+                    args: vec![("crash_s".to_string(), Content::F64(out.finish[r]))],
+                },
+            ));
+            lane.push((span_end.max(at), LaneEvent::End));
+        }
+    }
+
+    // Injected fault windows live on a dedicated lane (tid = ranks), so
+    // they never interleave with the per-rank slice stacks: nominal stall
+    // windows (cascading stalls may stretch further in reality), link
+    // slowdowns, and noise storms.
+    let mut fault_lane: Vec<(f64, LaneEvent)> = Vec::new();
+    let mut window = |from: f64, until: f64, name: String, factor: Option<f64>| {
+        let mut args = vec![
+            ("from_s".to_string(), Content::F64(from)),
+            ("until_s".to_string(), Content::F64(until)),
+        ];
+        if let Some(f) = factor {
+            args.push(("factor".to_string(), Content::F64(f)));
+        }
+        fault_lane.push((us(from), LaneEvent::Begin { name, cat: "fault", args }));
+        fault_lane.push((us(until), LaneEvent::End));
+    };
+    for s in &faults.stalls {
+        window(s.at, s.at + s.stall, format!("stall r{}", s.rank), None);
+    }
+    for l in &faults.links {
+        let node = |n: usize| {
+            if n == pap_sim::ANY_NODE {
+                "*".to_string()
+            } else {
+                format!("{n}")
+            }
+        };
+        window(
+            l.from,
+            l.until,
+            format!("link n{}->n{} x{}", node(l.src_node), node(l.dst_node), l.factor),
+            Some(l.factor),
+        );
+    }
+    for s in &faults.storms {
+        window(
+            s.from,
+            s.until,
+            format!("storm r{}-r{} x{}", s.first_rank, s.last_rank, s.factor),
+            Some(s.factor),
+        );
+    }
+
     let msg_events = out.msg_events.as_deref().unwrap_or(&[]);
     for (i, m) in msg_events.iter().enumerate() {
         let name = format!("{}B", m.bytes);
@@ -162,6 +262,10 @@ pub fn profile(
     trace.process_name(SIM_PID, &format!("pap-sim: {slice_name}"));
     for r in 0..p {
         trace.thread_name(SIM_PID, r as u64, &format!("rank {r}"));
+    }
+    if !fault_lane.is_empty() {
+        trace.thread_name(SIM_PID, p as u64, "faults");
+        lanes.push(fault_lane);
     }
     for (rank, mut events) in lanes.into_iter().enumerate() {
         events.sort_by(|a, b| {
@@ -193,8 +297,12 @@ pub fn profile(
     trace.set_metadata("d_star_s", Content::F64(d_star));
     trace.set_metadata("makespan_s", Content::F64(out.makespan()));
     trace.set_metadata("messages", Content::U64(out.messages));
+    if !faults.is_none() {
+        trace.set_metadata("faults", Content::Str(faults.to_string()));
+        trace.set_metadata("crashed_ranks", Content::U64(crashed as u64));
+    }
 
-    Ok(Profile { trace, d_hat, d_star, ranks: p, messages: msg_events.len() })
+    Ok(Profile { trace, d_hat, d_star, ranks: p, messages: msg_events.len(), crashed })
 }
 
 #[cfg(test)]
@@ -239,6 +347,48 @@ mod tests {
         let a = run_profile(4).trace.to_json_string();
         let b = run_profile(4).trace.to_json_string();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn faulted_profile_marks_crashes_and_fault_windows() {
+        let p = 8;
+        let platform = Platform::simcluster(p);
+        let spec = CollSpec::new(CollectiveKind::Bcast, 3, 1024);
+        let pattern = generate(Shape::Ascending, p, 1e-4, 1);
+        let clean = profile(&platform, &spec, &pattern, 7).unwrap();
+        // Crash a leaf after the root has fed the tree, stall another rank,
+        // and slow a link: the timeline must grow a faults lane and a
+        // crashed slice while the survivors' metric stays well-defined.
+        let faults = FaultSpec::none()
+            .with_crash(p - 1, 1e-3 + 1e-7)
+            .with_stall(1, 1e-3, 5e-4)
+            .with_link(0, 1, 1e-3, 2e-3, 4.0);
+        let prof = profile_with_faults(&platform, &spec, &pattern, 7, &faults).unwrap();
+        assert_eq!(prof.crashed, 1, "exactly the leaf crashes");
+        assert!(prof.d_hat >= clean.d_hat, "faults cannot speed up survivors");
+        let json = prof.trace.to_json_string();
+        let stats = pap_obs::validate_trace(&json).unwrap();
+        assert_eq!(stats.lanes, p + 1, "ranks plus the faults lane");
+        assert!(json.contains("crashed"), "crashed slice present");
+        assert!(json.contains("stall r1"), "stall window present");
+        assert!(json.contains("\"faults\""), "fault spec recorded in metadata");
+    }
+
+    #[test]
+    fn all_ranks_crashed_is_an_error() {
+        let p = 4;
+        let platform = Platform::simcluster(p);
+        let spec = CollSpec::new(CollectiveKind::Reduce, 5, 1024);
+        let pattern = generate(Shape::NoDelay, p, 0.0, 1);
+        let mut faults = FaultSpec::none();
+        for r in 0..p {
+            faults = faults.with_crash(r, 1e-9);
+        }
+        let res = profile_with_faults(&platform, &spec, &pattern, 7, &faults);
+        assert!(
+            matches!(&res, Err(BenchError::Sim(SimError::InvalidProgram(m))) if m.contains("crashed every rank")),
+            "{res:?}"
+        );
     }
 
     #[test]

@@ -20,8 +20,10 @@ use std::sync::{Arc, Mutex, RwLock};
 use pap_arrival::{classify_delays, Shape};
 use pap_collectives::registry::experiment_ids;
 use pap_collectives::CollectiveKind;
-use pap_core::{select, BenchMatrix, SelectionPolicy, TuneRecord};
-use pap_microbench::{sweep, Backend, BenchConfig, SkewPolicy};
+use pap_core::{select, select_with_faults, BenchMatrix, FaultMatrix, SelectionPolicy, TuneRecord};
+use pap_microbench::{
+    fault_sweep, no_delay_runtime, standard_grid, sweep, Backend, BenchConfig, SkewPolicy,
+};
 use pap_sim::{MachineId, Platform};
 
 use crate::cache::Lru;
@@ -49,6 +51,10 @@ pub struct CellEvidence {
     pub matrix: BenchMatrix,
     /// The status-quo (no-delay-fastest) pick, kept for reporting.
     pub status_quo: u8,
+    /// Degraded-mode evidence (algorithms × fault scenarios), measured
+    /// lazily the first time a fault-robust query hits the cell. Always
+    /// sim-backed (the analytical model has no fault model).
+    pub faults: Option<FaultMatrix>,
     /// Backend that produced the matrix (`"model"` or `"sim"`).
     pub backend: String,
     /// Bumped on every refinement upgrade; L1 entries derived from an older
@@ -74,21 +80,41 @@ struct L1Entry {
 }
 
 /// How `papd` selects when a query carries no arrival samples.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DefaultPolicy {
     /// The paper's robust-average policy (the daemon's default).
     Robust,
     /// The status quo: fastest under `no_delay`.
     NoDelayFastest,
+    /// Degraded-mode routing: prefer algorithms whose worst-case
+    /// degradation across the standard fault grid stays within the bound
+    /// (fault evidence is measured lazily, sim-backed, per cell).
+    FaultRobust {
+        /// Worst-case degradation bound (`1.0` = at most 2× slower under
+        /// any fault scenario).
+        max_degradation: f64,
+    },
 }
 
 impl std::str::FromStr for DefaultPolicy {
     type Err = String;
     fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(bound) = s.strip_prefix("fault_robust:") {
+            let max_degradation: f64 = bound
+                .parse()
+                .map_err(|_| format!("bad fault_robust bound '{bound}' (want a number)"))?;
+            if !max_degradation.is_finite() || max_degradation < 0.0 {
+                return Err(format!("fault_robust bound must be finite and >= 0, got {bound}"));
+            }
+            return Ok(DefaultPolicy::FaultRobust { max_degradation });
+        }
         match s.to_ascii_lowercase().as_str() {
             "robust" => Ok(DefaultPolicy::Robust),
             "no_delay" | "no_delay_fastest" | "status_quo" => Ok(DefaultPolicy::NoDelayFastest),
-            other => Err(format!("unknown policy '{other}' (expected robust|no_delay_fastest)")),
+            "fault_robust" => Ok(DefaultPolicy::FaultRobust { max_degradation: 1.0 }),
+            other => Err(format!(
+                "unknown policy '{other}' (expected robust|no_delay_fastest|fault_robust[:BOUND])"
+            )),
         }
     }
 }
@@ -151,6 +177,7 @@ impl TierStore {
                 CellEvidence {
                     matrix: rec.matrix.clone(),
                     status_quo: rec.status_quo,
+                    faults: None,
                     backend: backend.to_string(),
                     generation: 0,
                 },
@@ -174,6 +201,7 @@ impl TierStore {
                 CellEvidence {
                     matrix: cell.matrix.clone(),
                     status_quo: cell.status_quo,
+                    faults: None,
                     backend: snap.backend.clone(),
                     generation: 0,
                 },
@@ -212,6 +240,9 @@ impl TierStore {
                 let policy = match self.default_policy {
                     DefaultPolicy::Robust => SelectionPolicy::robust(),
                     DefaultPolicy::NoDelayFastest => SelectionPolicy::NoDelayFastest,
+                    DefaultPolicy::FaultRobust { max_degradation } => {
+                        SelectionPolicy::FaultRobust { max_degradation }
+                    }
                 };
                 (policy, Shape::NoDelay.name().to_string(), 1.0)
             }
@@ -270,8 +301,8 @@ impl TierStore {
         }
 
         // L2: precomputed evidence, exact then nearest-size.
-        if let Some((evidence_key, cell, exact)) = self.l2_lookup(&key) {
-            let alg = select(&cell.matrix, &policy)?;
+        if let Some((evidence_key, mut cell, exact)) = self.l2_lookup(&key) {
+            let alg = self.select_in_cell(machine_id, &evidence_key, &mut cell, &policy)?;
             if exact {
                 self.stats.l2_exact_hit();
             } else {
@@ -301,7 +332,15 @@ impl TierStore {
         self.stats.tier_miss();
         let backend = self.compute_backend;
         let matrix = self.compute_matrix(machine_id, &key, backend)?;
-        let alg = select(&matrix, &policy)?;
+        // Fault-robust routing needs degraded-mode evidence on top of the
+        // pattern matrix; measure it up front so the published cell carries
+        // both.
+        let faults = if matches!(policy, SelectionPolicy::FaultRobust { .. }) {
+            Some(self.compute_fault_matrix(machine_id, &key)?)
+        } else {
+            None
+        };
+        let alg = select_with_faults(&matrix, faults.as_ref(), &policy)?;
         let status_quo = select(&matrix, &SelectionPolicy::NoDelayFastest)?;
         let generation = 0;
         {
@@ -312,6 +351,7 @@ impl TierStore {
             l2.entry(key.clone()).or_insert(CellEvidence {
                 matrix,
                 status_quo,
+                faults,
                 backend: backend.to_string(),
                 generation,
             });
@@ -449,6 +489,50 @@ impl TierStore {
         scheduled
     }
 
+    /// Fault-aware selection inside one evidence cell: the
+    /// [`SelectionPolicy::FaultRobust`] policy needs degraded-mode
+    /// evidence, which is measured lazily (sim-backed) the first time a
+    /// fault-robust query hits the cell and published back into L2 so
+    /// later queries reuse it. Fault evidence does not bump the cell
+    /// generation — pattern-derived answers are untouched by it.
+    fn select_in_cell(
+        &self,
+        machine_id: MachineId,
+        key: &CellKey,
+        cell: &mut CellEvidence,
+        policy: &SelectionPolicy,
+    ) -> Result<u8, String> {
+        if matches!(policy, SelectionPolicy::FaultRobust { .. }) && cell.faults.is_none() {
+            let fm = self.compute_fault_matrix(machine_id, key)?;
+            let mut l2 = self.l2.write().expect("l2 lock");
+            if let Some(live) = l2.get_mut(key) {
+                if live.generation == cell.generation && live.faults.is_none() {
+                    live.faults = Some(fm.clone());
+                }
+            }
+            cell.faults = Some(fm);
+        }
+        select_with_faults(&cell.matrix, cell.faults.as_ref(), policy)
+    }
+
+    /// Measure the standard fault grid for one cell. Always sim-backed:
+    /// the analytical model has no fault model.
+    fn compute_fault_matrix(
+        &self,
+        machine_id: MachineId,
+        key: &CellKey,
+    ) -> Result<FaultMatrix, String> {
+        let platform = Platform::preset(machine_id, key.ranks);
+        let algs = experiment_ids(key.kind);
+        let cfg = BenchConfig::simulation();
+        let t = no_delay_runtime(&platform, key.kind, algs[0], key.bytes, &cfg, 0)
+            .map_err(|e| format!("fault grid {} @ {} B: {e}", key.kind, key.bytes))?;
+        let scenarios = standard_grid(key.ranks, t);
+        let sw = fault_sweep(&platform, key.kind, &algs, key.bytes, &scenarios, &cfg)
+            .map_err(|e| format!("fault grid {} @ {} B: {e}", key.kind, key.bytes))?;
+        Ok(FaultMatrix::from_fault_sweep(&sw))
+    }
+
     /// Run the full algorithm × pattern sweep for one cell.
     fn compute_matrix(
         &self,
@@ -471,6 +555,9 @@ pub fn policy_label(policy: &SelectionPolicy) -> String {
         SelectionPolicy::NoDelayFastest => "no_delay_fastest".to_string(),
         SelectionPolicy::RobustAverage { .. } => "robust".to_string(),
         SelectionPolicy::BestUnderPattern(p) => format!("best_under:{p}"),
+        SelectionPolicy::FaultRobust { max_degradation } => {
+            format!("fault_robust:{max_degradation}")
+        }
     }
 }
 
@@ -585,6 +672,70 @@ mod tests {
         assert!(t2.is_none(), "already in flight");
         assert!(!a2.refine_scheduled);
         assert_eq!(s.stats().report().tiers.refines_scheduled, 1);
+    }
+
+    fn fault_store(l1: usize) -> TierStore {
+        TierStore::new(
+            Arc::new(Stats::new()),
+            l1,
+            DefaultPolicy::FaultRobust { max_degradation: 1.0 },
+            Backend::Model,
+            false,
+        )
+    }
+
+    #[test]
+    fn default_policy_parses_fault_robust() {
+        assert_eq!(
+            "fault_robust".parse::<DefaultPolicy>().unwrap(),
+            DefaultPolicy::FaultRobust { max_degradation: 1.0 }
+        );
+        assert_eq!(
+            "fault_robust:0.5".parse::<DefaultPolicy>().unwrap(),
+            DefaultPolicy::FaultRobust { max_degradation: 0.5 }
+        );
+        assert!("fault_robust:nope".parse::<DefaultPolicy>().is_err());
+        assert!("fault_robust:-1".parse::<DefaultPolicy>().is_err());
+    }
+
+    #[test]
+    fn fault_robust_routing_computes_cold_cells_with_fault_evidence() {
+        let s = fault_store(32);
+        let (a, _) = s.resolve(&query(1024, None)).unwrap();
+        assert_eq!(a.tier, Tier::Computed);
+        assert_eq!(a.policy, "fault_robust:1");
+        // The published cell carries the fault grid: the next query resolves
+        // from L1 without re-measuring.
+        let (b, _) = s.resolve(&query(1024, None)).unwrap();
+        assert_eq!(b.tier, Tier::L1);
+        assert_eq!(b.alg, a.alg);
+    }
+
+    #[test]
+    fn fault_robust_routing_adds_lazy_evidence_to_seeded_cells() {
+        let s = fault_store(32);
+        let platform = Platform::simcluster(8);
+        let plan = TunePlan {
+            kinds: vec![CollectiveKind::Reduce],
+            sizes: vec![1024],
+            ..TunePlan::default()
+        };
+        let cfg = BenchConfig::simulation().with_backend(Backend::Model);
+        let (_, records) = tune_machine(&platform, &plan, &cfg).unwrap();
+        s.ingest_records("SimCluster", &records, "model");
+        // Seeded cells have no fault evidence; the first fault-robust query
+        // measures it lazily and still answers from L2.
+        let (a, _) = s.resolve(&query(1024, None)).unwrap();
+        assert_eq!(a.tier, Tier::L2);
+        assert!(a.policy.starts_with("fault_robust"));
+        let (b, _) = s.resolve(&query(1024, None)).unwrap();
+        assert_eq!(b.tier, Tier::L1, "fault evidence is cached on the cell");
+        assert_eq!(b.alg, a.alg);
+        // Queries carrying arrival samples keep their per-pattern policy:
+        // the fault grid only backs pattern-less routing.
+        let proto = generate(Shape::LastDelayed, 8, 1e-3, 0);
+        let (c, _) = s.resolve(&query(1024, Some(proto.delays.clone()))).unwrap();
+        assert!(c.policy.starts_with("best_under:"));
     }
 
     #[test]

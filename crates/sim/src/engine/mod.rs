@@ -272,6 +272,14 @@ fn run_parts(
             platform.ranks
         )));
     }
+    if !cfg.faults.is_none() {
+        // Reject out-of-range fault specs before any partition schedules a
+        // crash event — inside the validated envelope every fault-adjusted
+        // event time provably stays finite.
+        if let Err(e) = cfg.faults.validate(platform.ranks, platform.nodes) {
+            return Err(SimError::InvalidProgram(format!("invalid fault spec: {e}")));
+        }
+    }
 
     let nparts = parts.clamp(1, platform.occupied_nodes());
     let bounds = partition_bounds(platform, nparts);
@@ -700,6 +708,115 @@ mod tests {
         )
         .unwrap();
         assert_ne!(noisy.finish[0], 1.0, "Op::compute should be perturbed");
+    }
+
+    #[test]
+    fn rank_stall_pushes_completions_back() {
+        let platform = Platform::simcluster(1);
+        let job = || Job::new(vec![RankProgram::from_ops(vec![Op::delay(1.0), Op::delay(1.0)])]);
+        let clean = run(&platform, job(), &SimConfig::default()).unwrap();
+        assert_eq!(clean.finish[0], 2.0);
+        // Freeze rank 0 for 0.5 s at t = 1.5: the second delay (completing
+        // at 2.0 ≥ 1.5) is pushed back by the stall.
+        let cfg = SimConfig::default()
+            .with_faults(crate::FaultSpec::none().with_stall(0, 1.5, 0.5));
+        let faulted = run(&platform, job(), &cfg).unwrap();
+        assert_eq!(faulted.finish[0], 2.5);
+        // A stall entirely after the program completes changes nothing.
+        let late = SimConfig::default()
+            .with_faults(crate::FaultSpec::none().with_stall(0, 10.0, 5.0));
+        assert_eq!(run(&platform, job(), &late).unwrap().finish[0], 2.0);
+    }
+
+    #[test]
+    fn crash_halts_rank_and_dependents_deadlock() {
+        let platform = Platform::simcluster(2);
+        let mk = || {
+            Job::new(vec![
+                RankProgram::from_ops(vec![Op::delay(1.0), Op::send(1, 1, 64, 0)]),
+                RankProgram::from_ops(vec![Op::recv(0, 1, 0)]),
+            ])
+        };
+        // Rank 0 dies before its send: rank 1 waits forever.
+        let cfg = SimConfig::default().with_faults(crate::FaultSpec::none().with_crash(0, 0.5));
+        match run(&platform, mk(), &cfg) {
+            Err(SimError::Deadlock { blocked, .. }) => {
+                assert_eq!(blocked.len(), 1, "only the dependent blocks: {blocked:?}");
+                assert_eq!(blocked[0].0, 1);
+            }
+            other => panic!("expected dependent deadlock, got {other:?}"),
+        }
+        // Rank 0 dies after its send (mid trailing compute): the run
+        // completes, the dead rank's finish pinned at the crash time.
+        let job = Job::new(vec![
+            RankProgram::from_ops(vec![Op::delay(1.0), Op::send(1, 1, 64, 0), Op::delay(5.0)]),
+            RankProgram::from_ops(vec![Op::recv(0, 1, 0)]),
+        ]);
+        let cfg = SimConfig::default().with_faults(crate::FaultSpec::none().with_crash(0, 2.0));
+        let out = run(&platform, job, &cfg).unwrap();
+        assert_eq!(out.finish[0], 2.0);
+        assert!(out.finish[1] > 1.0 && out.finish[1] < 2.0);
+        // A crash after a rank completes changes nothing.
+        let late = SimConfig::default().with_faults(crate::FaultSpec::none().with_crash(0, 50.0));
+        let clean = run(&platform, mk(), &SimConfig::default()).unwrap();
+        let out = run(&platform, mk(), &late).unwrap();
+        assert_eq!(out.finish[0].to_bits(), clean.finish[0].to_bits());
+        assert_eq!(out.finish[1].to_bits(), clean.finish[1].to_bits());
+    }
+
+    #[test]
+    fn link_fault_window_slows_transfers_inside_it_only() {
+        // Two ranks on different nodes exchange one eager message each way.
+        let mut platform = Platform::simcluster(2);
+        platform.cores_per_node = 1;
+        let job = || {
+            Job::new(vec![
+                RankProgram::from_ops(vec![Op::send(1, 1, 8192, 0)]),
+                RankProgram::from_ops(vec![Op::recv(0, 1, 0)]),
+            ])
+        };
+        let clean = run(&platform, job(), &SimConfig::default()).unwrap();
+        let slow_cfg = SimConfig::default()
+            .with_faults(crate::FaultSpec::none().with_link(0, 1, 0.0, 1.0, 10.0));
+        let slowed = run(&platform, job(), &slow_cfg).unwrap();
+        assert!(
+            slowed.finish[1] > clean.finish[1],
+            "in-window transfer should slow down: {} vs {}",
+            slowed.finish[1],
+            clean.finish[1]
+        );
+        // Window closes before the transfer: no effect.
+        let closed = SimConfig::default()
+            .with_faults(crate::FaultSpec::none().with_link(0, 1, 1e9, 2e9, 10.0));
+        let out = run(&platform, job(), &closed).unwrap();
+        assert_eq!(out.finish[1].to_bits(), clean.finish[1].to_bits());
+    }
+
+    #[test]
+    fn noise_storm_slows_covered_ranks_inside_window() {
+        let platform = Platform::simcluster(2);
+        let job = || {
+            Job::new(vec![
+                RankProgram::from_ops(vec![Op::compute(1.0)]),
+                RankProgram::from_ops(vec![Op::compute(1.0)]),
+            ])
+        };
+        let cfg = SimConfig::default()
+            .with_faults(crate::FaultSpec::none().with_storm(0, 0, 0.0, 0.5, 3.0));
+        let out = run(&platform, job(), &cfg).unwrap();
+        assert_eq!(out.finish[0], 3.0, "storm-covered compute is stretched");
+        assert_eq!(out.finish[1], 1.0, "rank outside the storm is untouched");
+    }
+
+    #[test]
+    fn invalid_fault_spec_is_rejected() {
+        let platform = Platform::simcluster(2);
+        let job = Job::new(vec![RankProgram::new(); 2]);
+        let cfg = SimConfig::default().with_faults(crate::FaultSpec::none().with_crash(7, 1.0));
+        assert!(matches!(
+            run(&platform, job, &cfg),
+            Err(SimError::InvalidProgram(msg)) if msg.contains("fault")
+        ));
     }
 
     #[test]

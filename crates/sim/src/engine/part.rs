@@ -120,6 +120,11 @@ enum Status {
     BlockedSend,
     BlockedWaitAll,
     Finished,
+    /// Halted permanently by a [`crate::fault::RankCrash`]. Terminal like
+    /// `Finished` (excluded from deadlock reporting), but deliveries and
+    /// request completions addressed to the rank are dropped instead of
+    /// resuming it.
+    Crashed,
 }
 
 struct RankState {
@@ -453,6 +458,30 @@ pub(super) struct Part<'a> {
     in_apply: bool,
     /// Current inline-cascade depth (see [`Part::resume_inline`]).
     inline_depth: u32,
+    /// Pending stall intervals `(at, duration)` of this partition's ranks,
+    /// flat and sorted per rank by start time; rank `l` owns
+    /// `fault_stall_base[l]..fault_stall_base[l+1]`. Empty (with `has_stalls`
+    /// false) when the fault spec carries no stalls for these ranks.
+    fault_stalls: Vec<(SimTime, f64)>,
+    fault_stall_base: Vec<u32>,
+    /// Per-rank cursor into `fault_stalls`: the next unconsumed stall. A
+    /// stall is consumed exactly once, the first time the rank's local clock
+    /// is assigned a time at or past its start.
+    fault_next: Vec<u32>,
+    /// Per-rank crash instant (`f64::INFINITY` = never). Ranks execute ahead
+    /// of the global clock, so a crash must be enforced where time actually
+    /// advances: every local-clock assignment runs through [`Part::warp`],
+    /// which halts the rank the moment an assignment would cross this value.
+    /// The [`QEvent::KIND_CRASH`] queue event is only the backstop for ranks
+    /// parked on a peer that never responds (their clock never moves again).
+    fault_crash: Vec<SimTime>,
+    /// Fast-path gates: whether any stall/crash targets this partition's
+    /// ranks / any storm or link window exists in the spec. With all four
+    /// false the engine takes exactly the fault-free code paths.
+    has_stalls: bool,
+    has_crashes: bool,
+    has_storms: bool,
+    has_links: bool,
     pub(super) phases: Vec<PhaseRecord>,
     pub(super) finish: Vec<SimTime>,
     pub(super) msg_events: Vec<MsgEvent>,
@@ -534,7 +563,55 @@ impl<'a> Part<'a> {
 
         let queue = EventQueue::auto(n, platform.inter.latency);
 
-        Part {
+        // Per-rank stall plan: local ranks' stalls, flattened and sorted by
+        // (rank, start). The sort key is execution-independent, so every
+        // partitioning consumes stalls in the same per-rank order.
+        let mut local_stalls: Vec<(u32, SimTime, f64)> = cfg
+            .faults
+            .stalls
+            .iter()
+            .filter(|s| (r0..r1).contains(&s.rank))
+            .map(|s| ((s.rank - r0) as u32, s.at, s.stall))
+            .collect();
+        local_stalls.sort_by(|a, b| {
+            a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)).then(a.2.total_cmp(&b.2))
+        });
+        let has_stalls = !local_stalls.is_empty();
+        let mut fault_stall_base = Vec::new();
+        let mut fault_stalls = Vec::new();
+        let mut fault_next = Vec::new();
+        if has_stalls {
+            fault_stall_base.reserve(n + 1);
+            let mut it = local_stalls.iter().peekable();
+            for l in 0..n as u32 {
+                fault_stall_base.push(fault_stalls.len() as u32);
+                fault_next.push(fault_stalls.len() as u32);
+                while let Some(&&(lr, at, dur)) = it.peek() {
+                    if lr != l {
+                        break;
+                    }
+                    fault_stalls.push((at, dur));
+                    it.next();
+                }
+            }
+            fault_stall_base.push(fault_stalls.len() as u32);
+        }
+
+        // Per-rank crash instant (earliest wins if a spec lists several).
+        let mut fault_crash = Vec::new();
+        let mut has_crashes = false;
+        for c in &cfg.faults.crashes {
+            if (r0..r1).contains(&c.rank) {
+                if !has_crashes {
+                    fault_crash = vec![f64::INFINITY; n];
+                    has_crashes = true;
+                }
+                let slot = &mut fault_crash[c.rank - r0];
+                *slot = slot.min(c.at);
+            }
+        }
+
+        let mut part = Part {
             platform,
             cfg,
             comp,
@@ -559,6 +636,14 @@ impl<'a> Part<'a> {
             aux: (0..nparts).map(|_| Vec::new()).collect(),
             in_apply: false,
             inline_depth: 0,
+            fault_stalls,
+            fault_stall_base,
+            fault_next,
+            fault_crash,
+            has_stalls,
+            has_crashes,
+            has_storms: !cfg.faults.storms.is_empty(),
+            has_links: !cfg.faults.links.is_empty(),
             phases: Vec::new(),
             finish: vec![0.0; n],
             msg_events: Vec::new(),
@@ -572,7 +657,16 @@ impl<'a> Part<'a> {
             queue_hwm: 0,
             live_msgs: 0,
             live_msgs_hwm: 0,
+        };
+        // Crash events carry their own queue kind so a rank parked on a
+        // receive that never arrives still halts at its crash time (a purely
+        // clock-based check would never fire for it).
+        for c in &cfg.faults.crashes {
+            if (r0..r1).contains(&c.rank) {
+                part.push_event(c.at, QEvent::KIND_CRASH, c.rank as u64, (c.rank - r0) as u32);
+            }
         }
+        part
     }
 
     /// Global rank of local index `l`.
@@ -732,6 +826,7 @@ impl<'a> Part<'a> {
                 }
                 QEvent::KIND_INJECT => self.on_inject(key.idx as usize, key.t),
                 QEvent::KIND_WIRE => self.on_wire_arrival(key.idx as usize, key.t),
+                QEvent::KIND_CRASH => self.on_crash(key.idx as usize, key.t),
                 _ => self.on_delivered(key.idx as usize, key.t),
             }
             if self.error.is_some() {
@@ -741,12 +836,13 @@ impl<'a> Part<'a> {
     }
 
     /// Ranks of this partition that have not finished, with a description of
-    /// what blocks them (deadlock reporting).
+    /// what blocks them (deadlock reporting). Crashed ranks are terminal —
+    /// they halted by design, so only their *dependents* count as blocked.
     pub(super) fn blocked(&self) -> Vec<(usize, String)> {
         self.ranks
             .iter()
             .enumerate()
-            .filter(|(_, r)| r.status != Status::Finished)
+            .filter(|(_, r)| r.status != Status::Finished && r.status != Status::Crashed)
             .map(|(l, st)| {
                 let g = self.g(l);
                 let seg = st.seg_i - self.comp.rank_segs[g];
@@ -771,6 +867,102 @@ impl<'a> Part<'a> {
         if self.error.is_none() {
             self.error = Some((self.cur_key, SimError::InvalidProgram(msg)));
         }
+    }
+
+    // -- fault injection ----------------------------------------------------
+
+    /// Apply any pending stalls of rank `l` to a new local-clock value `t`:
+    /// every stall starting at or before `t` freezes the rank, pushing the
+    /// completion back by its duration (which may pull later stalls into
+    /// range — they cascade). Called at every local-clock assignment point;
+    /// consumption order is per-rank canonical (all of a rank's clock
+    /// assignments happen while its owning partition processes events in
+    /// canonical order), so every partitioning consumes stalls identically.
+    ///
+    /// The same hook enforces crashes: if the (stall-adjusted) time crosses
+    /// the rank's crash instant, the rank halts there — status flips to
+    /// [`Status::Crashed`], `finish` pins to the crash time, and the
+    /// returned time is the crash time. Callers must check
+    /// [`Part::crashed`] before performing the op's side effects (injecting
+    /// a message, posting a receive, completing a request): work strictly
+    /// after the crash never happens. Work completing *exactly at* the
+    /// crash instant still lands (strict `>`), matching the ordering of
+    /// [`QEvent::KIND_CRASH`] after same-instant message events.
+    #[inline]
+    fn warp(&mut self, l: usize, t: SimTime) -> SimTime {
+        if !self.has_stalls && !self.has_crashes {
+            return t;
+        }
+        self.warp_slow(l, t)
+    }
+
+    fn warp_slow(&mut self, l: usize, mut t: SimTime) -> SimTime {
+        if self.has_stalls {
+            let end = self.fault_stall_base[l + 1];
+            let mut i = self.fault_next[l];
+            while i < end {
+                let (at, dur) = self.fault_stalls[i as usize];
+                if at > t {
+                    break;
+                }
+                t += dur;
+                i += 1;
+            }
+            self.fault_next[l] = i;
+        }
+        if self.has_crashes {
+            let c = self.fault_crash[l];
+            if t > c {
+                self.ranks[l].status = Status::Crashed;
+                self.finish[l] = c;
+                return c;
+            }
+        }
+        t
+    }
+
+    /// Whether rank `l` is dead — checked after every [`Part::warp`] call
+    /// that precedes a side effect.
+    #[inline]
+    fn crashed(&self, l: usize) -> bool {
+        self.ranks[l].status == Status::Crashed
+    }
+
+    /// A CPU-side duration with noise and any active noise-storm slowdown
+    /// applied. `at` is the simulated time the work starts; storm windows
+    /// are pure functions of `(rank, at)`, so the factor is independent of
+    /// event processing order.
+    #[inline]
+    fn cpu_time(&mut self, l: usize, d: SimTime, at: SimTime) -> SimTime {
+        let d = self.perturb(l, d);
+        if self.has_storms {
+            d * self.cfg.faults.storm_factor(self.g(l), at)
+        } else {
+            d
+        }
+    }
+
+    /// Transfer-time multiplier from link-fault windows active at `t` on the
+    /// `src → dst` node channel (1.0 when no link faults exist).
+    #[inline]
+    fn link_fault_factor(&self, src: usize, dst: usize, t: SimTime) -> f64 {
+        if !self.has_links {
+            return 1.0;
+        }
+        self.cfg.faults.link_factor(self.platform.node_of(src), self.platform.node_of(dst), t)
+    }
+
+    /// A [`crate::fault::RankCrash`] fires: halt the rank permanently. Work
+    /// already completed stands; deliveries and completions arriving later
+    /// are dropped by the `Crashed` guards. Ranks blocked on the dead rank
+    /// park forever and surface as [`SimError::Deadlock`].
+    fn on_crash(&mut self, l: usize, at: SimTime) {
+        let st = &mut self.ranks[l];
+        if matches!(st.status, Status::Finished | Status::Crashed) {
+            return;
+        }
+        st.status = Status::Crashed;
+        self.finish[l] = at;
     }
 
     // -- rank execution ----------------------------------------------------
@@ -807,7 +999,9 @@ impl<'a> Part<'a> {
     fn advance_inner(&mut self, l: usize) {
         loop {
             match self.ranks[l].status {
-                Status::Finished | Status::BlockedRecv | Status::BlockedSend => return,
+                Status::Finished | Status::Crashed | Status::BlockedRecv | Status::BlockedSend => {
+                    return
+                }
                 Status::BlockedWaitAll => {
                     // Re-evaluate the WaitAll the rank is parked on; on
                     // success the op is complete, so advance past it.
@@ -877,14 +1071,21 @@ impl<'a> Part<'a> {
     fn exec_op(&mut self, l: usize, op: &COp) -> bool {
         match *op {
             COp::Compute { seconds, noisy } => {
-                let d = if noisy { self.perturb(l, seconds) } else { seconds };
-                self.ranks[l].local += d;
+                let at = self.ranks[l].local;
+                let d = if noisy { self.cpu_time(l, seconds, at) } else { seconds };
+                self.ranks[l].local = self.warp(l, at + d);
+                if self.crashed(l) {
+                    return false;
+                }
                 self.step(l);
                 true
             }
             COp::SleepUntil { time } => {
-                let r = &mut self.ranks[l];
-                r.local = r.local.max(time);
+                let t = self.ranks[l].local.max(time);
+                self.ranks[l].local = self.warp(l, t);
+                if self.crashed(l) {
+                    return false;
+                }
                 self.step(l);
                 true
             }
@@ -905,14 +1106,23 @@ impl<'a> Part<'a> {
                     self.step(l);
                     true
                 } else {
-                    self.ranks[l].status = Status::BlockedWaitAll;
+                    // `enter_waitall` also returns false when the final
+                    // completion time crossed the crash instant — the rank
+                    // is dead, not parked.
+                    if !self.crashed(l) {
+                        self.ranks[l].status = Status::BlockedWaitAll;
+                    }
                     false
                 }
             }
             COp::ReduceLocal { from, into, bytes } => {
                 let cost = bytes as f64 * self.platform.reduce_cost_per_byte;
-                let d = self.perturb(l, cost);
-                self.ranks[l].local += d;
+                let at = self.ranks[l].local;
+                let d = self.cpu_time(l, cost, at);
+                self.ranks[l].local = self.warp(l, at + d);
+                if self.crashed(l) {
+                    return false;
+                }
                 if self.cfg.track_data {
                     // Value clones are Arc bumps; the deep copy happens only
                     // if reduce_from must mutate shared blocks.
@@ -1037,7 +1247,16 @@ impl<'a> Part<'a> {
         }
 
         let o_s = self.platform.send_overhead;
-        let ts = self.ranks[l].local + self.perturb(l, o_s);
+        let at = self.ranks[l].local;
+        let ts = {
+            let d = self.cpu_time(l, o_s, at);
+            self.warp(l, at + d)
+        };
+        if self.crashed(l) {
+            // Died during the send overhead: the message never left.
+            self.ranks[l].local = ts;
+            return false;
+        }
         let wire_factor = match self.cfg.noise {
             NoiseModel::None => 1.0,
             m => m.wire_factor(&mut self.rngs[l]),
@@ -1167,9 +1386,14 @@ impl<'a> Part<'a> {
         // insertion). This per-message software cost is what makes
         // aggregating algorithms (Bruck) win small-message collectives over
         // posting one pair of requests per peer.
-        let post = self.perturb(l, self.platform.recv_overhead);
-        self.ranks[l].local += post;
-        let tr = self.ranks[l].local;
+        let at = self.ranks[l].local;
+        let post = self.cpu_time(l, self.platform.recv_overhead, at);
+        let tr = self.warp(l, at + post);
+        self.ranks[l].local = tr;
+        if self.crashed(l) {
+            // Died posting the receive: nothing was matched or consumed.
+            return false;
+        }
         let wake = match req {
             Some(r) => r as u32,
             None => NIL,
@@ -1187,7 +1411,17 @@ impl<'a> Part<'a> {
             // Eager message already delivered: complete inline.
             if let MsgState::DeliveredUnmatched(t_d) = self.msgs[mid].state {
                 let o_r = self.platform.recv_overhead;
-                let done = tr.max(t_d) + self.perturb(l, o_r);
+                let start = tr.max(t_d);
+                let done = {
+                    let d = self.cpu_time(l, o_r, start);
+                    self.warp(l, start + d)
+                };
+                if self.crashed(l) {
+                    // Died mid-copy: the matched message is consumed but
+                    // never lands anywhere.
+                    self.drop_msg(mid);
+                    return false;
+                }
                 self.finish_recv(mid, l, slot, done, req);
                 // Blocking recv continues at `done`.
                 if req.is_none() {
@@ -1253,7 +1487,8 @@ impl<'a> Part<'a> {
         let m = &self.msgs[id];
         let (src, dst, bytes, uid) = (m.src as usize, m.dst as usize, m.bytes, m.uid);
         let link = *self.platform.link(src, dst);
-        let wire = bytes as f64 / link.bandwidth * m.wire_factor;
+        let wire =
+            bytes as f64 / link.bandwidth * m.wire_factor * self.link_fault_factor(src, dst, now);
         let intra = self.platform.same_node(src, dst);
 
         let (start, egress_done) = if !intra && self.platform.nic_serialization {
@@ -1265,15 +1500,23 @@ impl<'a> Part<'a> {
             (now, now + wire)
         };
 
-        // Wake a rendezvous sender once the data has left the node.
+        // Wake a rendezvous sender once the data has left the node (unless
+        // it crashed while parked — the data was already in flight).
         match self.msgs[id].sender_wake {
             SenderWake::Blocked => {
                 let l = src - self.r0;
-                self.ranks[l].local = egress_done;
-                self.ranks[l].status = Status::Runnable;
-                self.step(l);
-                if !self.resume_inline(l) {
-                    self.schedule_wake(l, egress_done);
+                if self.ranks[l].status != Status::Crashed {
+                    let resume = self.warp(l, egress_done);
+                    self.ranks[l].local = resume;
+                    // The resume itself may cross the crash instant: the
+                    // data left the node, but the sender never runs again.
+                    if !self.crashed(l) {
+                        self.ranks[l].status = Status::Runnable;
+                        self.step(l);
+                        if !self.resume_inline(l) {
+                            self.schedule_wake(l, resume);
+                        }
+                    }
                 }
             }
             SenderWake::Req(r) => {
@@ -1312,7 +1555,9 @@ impl<'a> Part<'a> {
         let m = &self.msgs[id];
         let (src, dst, bytes, uid) = (m.src as usize, m.dst as usize, m.bytes, m.uid);
         debug_assert!(!self.platform.same_node(src, dst));
-        let wire = bytes as f64 / self.platform.inter.bandwidth * m.wire_factor;
+        let wire = bytes as f64 / self.platform.inter.bandwidth
+            * m.wire_factor
+            * self.link_fault_factor(src, dst, now);
         let delivered = if self.platform.nic_serialization {
             let node = self.platform.node_of(dst) - self.node0;
             let t = now.max(self.ingress_free[node]);
@@ -1336,13 +1581,42 @@ impl<'a> Part<'a> {
         }
     }
 
+    /// Drop a message whose receiver is dead: mark it done and retire it
+    /// without touching any slot, request, or record.
+    fn drop_msg(&mut self, id: usize) {
+        let src = self.msgs[id].src as usize;
+        self.msgs[id].state = MsgState::Done;
+        if !self.owns(src) {
+            self.uid_map.remove(&self.msgs[id].uid);
+        }
+        self.retire_msg(id);
+    }
+
     fn on_delivered(&mut self, id: usize, now: SimTime) {
+        // A delivery addressed to a crashed rank is dropped on the floor:
+        // the data arrived, but nobody is alive to complete the receive.
+        {
+            let l = self.msgs[id].dst as usize - self.r0;
+            if self.ranks[l].status == Status::Crashed {
+                self.drop_msg(id);
+                return;
+            }
+        }
         match self.msgs[id].state {
             MsgState::WaitingDelivery => {
                 let recv = self.msgs[id].recv.expect("matched message must have recv info");
                 let l = self.msgs[id].dst as usize - self.r0;
                 let o_r = self.platform.recv_overhead;
-                let done = now.max(recv.posted_at) + self.perturb(l, o_r);
+                let start = now.max(recv.posted_at);
+                let done = {
+                    let d = self.cpu_time(l, o_r, start);
+                    self.warp(l, start + d)
+                };
+                if self.crashed(l) {
+                    // Died during the receive-side copy.
+                    self.drop_msg(id);
+                    return;
+                }
                 if recv.wake == NIL {
                     self.finish_recv(id, l, recv.slot as usize, done, None);
                     self.ranks[l].local = done;
@@ -1393,11 +1667,14 @@ impl<'a> Part<'a> {
     }
 
     fn complete_req(&mut self, l: usize, req: ReqId, t: SimTime) {
+        // A crashed rank never resumes: record the completion (the transfer
+        // itself happened) but leave its WaitAll parked forever.
+        let crashed = self.ranks[l].status == Status::Crashed;
         let slot = self.req(l, req);
         debug_assert!(matches!(*slot, ReqState::Pending | ReqState::PendingWaited));
         let waited = matches!(*slot, ReqState::PendingWaited);
         *slot = ReqState::Done(t);
-        if waited {
+        if waited && !crashed {
             // The rank is parked on a WaitAll listing this request; fold
             // the completion into its cached countdown and resume once the
             // last one lands.
@@ -1445,7 +1722,10 @@ impl<'a> Part<'a> {
             for &r in reqs {
                 self.reqs[base + r as usize] = ReqState::Free;
             }
-            self.ranks[l].local = t;
+            self.ranks[l].local = self.warp(l, t);
+            if self.crashed(l) {
+                return false;
+            }
             true
         } else {
             let st = &mut self.ranks[l];
@@ -1476,8 +1756,11 @@ impl<'a> Part<'a> {
         for &r in reqs {
             self.reqs[base + r as usize] = ReqState::Free;
         }
-        self.ranks[l].local = self.ranks[l].wa_t;
-        true
+        let t = self.ranks[l].wa_t;
+        self.ranks[l].local = self.warp(l, t);
+        // Crossing the crash instant leaves the rank dead, not resumed;
+        // `advance_inner` returns without touching its status.
+        !self.crashed(l)
     }
 
     // -- message table ------------------------------------------------------

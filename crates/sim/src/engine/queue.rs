@@ -57,6 +57,10 @@ impl QEvent {
     pub const KIND_WIRE: u8 = 2;
     /// Message content available to the destination rank.
     pub const KIND_DELIVERED: u8 = 3;
+    /// A rank halts permanently ([`crate::fault::RankCrash`]; uid = rank).
+    /// Sorts after same-instant message events: work completing exactly at
+    /// the crash time still lands.
+    pub const KIND_CRASH: u8 = 4;
 }
 
 impl Eq for QEvent {}

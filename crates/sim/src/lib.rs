@@ -52,6 +52,7 @@
 mod compiled;
 pub mod data;
 pub mod engine;
+pub mod fault;
 pub mod noise;
 pub mod platform;
 pub mod program;
@@ -60,6 +61,7 @@ pub mod timeline;
 
 pub use data::{RankSet, Value};
 pub use engine::{run, run_auto, run_par, run_ref, RunOutcome, SimError};
+pub use fault::{FaultSpec, LinkFault, NoiseStorm, RankCrash, RankStall, ANY_NODE};
 pub use noise::NoiseModel;
 pub use platform::{LinkParams, MachineId, Platform};
 pub use program::{CommDir, CommMeta, Job, Label, Op, RankProgram, Segment};
@@ -89,6 +91,13 @@ pub struct SimConfig {
     /// by default (the tracer/harness layers consume phases); switch off for
     /// 100K-rank scale runs where the records alone dominate memory.
     pub record_phases: bool,
+    /// Runtime faults injected into the run (rank stalls/crashes, link
+    /// slowdown windows, noise storms). [`FaultSpec::none`] — the default —
+    /// takes exactly the fault-free code paths, so output is bit-identical
+    /// to a run without the field. Faults apply at deterministic simulated
+    /// timestamps, preserving the byte-identical `run_ref`/`run_par`
+    /// contract at any partition count.
+    pub faults: FaultSpec,
 }
 
 impl Default for SimConfig {
@@ -99,6 +108,7 @@ impl Default for SimConfig {
             noise: NoiseModel::None,
             record_messages: false,
             record_phases: true,
+            faults: FaultSpec::none(),
         }
     }
 }
@@ -123,6 +133,12 @@ impl SimConfig {
     /// Replace the noise model, keeping everything else.
     pub fn with_noise(mut self, noise: NoiseModel) -> Self {
         self.noise = noise;
+        self
+    }
+
+    /// Replace the fault spec, keeping everything else.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
         self
     }
 }

@@ -11,7 +11,8 @@
 //! deterministic too).
 
 use pap_sim::{
-    run_auto, run_par, run_ref, Job, NoiseModel, Op, Platform, RankProgram, RunOutcome, SimConfig,
+    run_auto, run_par, run_ref, FaultSpec, Job, NoiseModel, Op, Platform, RankProgram, RunOutcome,
+    SimConfig, ANY_NODE,
 };
 
 /// SimCluster scaled out to `ranks` (presets grow nodes synthetically
@@ -122,12 +123,90 @@ fn noisy_tracked_recorded_run_is_byte_identical() {
         noise: NoiseModel::gaussian(0.08),
         record_messages: true,
         record_phases: true,
+        ..SimConfig::default()
     };
     let seq = run_ref(&platform, &job, &cfg).expect("sequential run");
     for parts in [2usize, 3, 8] {
         let par = run_par(&platform, &job, &cfg, parts).expect("parallel run");
         assert_bit_identical(&seq, &par, &format!("rdb p=1024 parts={parts}"));
     }
+}
+
+/// A fully-loaded fault spec — stalls (cascading, multiple per rank), a
+/// crash on the final leaf receiver, link-slowdown windows (one wildcard),
+/// and a noise storm — stays byte-identical at 10 240 ranks across every
+/// partition count. This is the determinism contract of the fault layer:
+/// partitions must consume stalls, enforce crash caps, and evaluate fault
+/// windows exactly as the sequential engine does.
+#[test]
+fn faulted_ten_k_bcast_is_byte_identical_across_thread_counts() {
+    let p = 10_240;
+    let platform = scaled_simcluster(p);
+    let job = binomial_bcast(p, 1024);
+    let faults = FaultSpec::none()
+        .with_stall(1, 1e-5, 3e-4)
+        .with_stall(1, 2e-4, 1e-4)
+        .with_stall(5_000, 0.0, 2e-4)
+        .with_crash(p - 1, 2e-6)
+        .with_link(0, 1, 0.0, 5e-3, 7.5)
+        .with_link(ANY_NODE, 3, 1e-4, 2e-3, 3.0)
+        .with_storm(2_000, 2_600, 0.0, 1e-2, 4.0);
+    let cfg = SimConfig::default().with_faults(faults);
+    let seq = run_ref(&platform, &job, &cfg).expect("sequential faulted run");
+    // The spec must actually bite — otherwise this degenerates into the
+    // clean identity test above.
+    let clean = run_ref(&platform, &job, &SimConfig::default()).expect("clean run");
+    assert!(
+        seq.makespan() > clean.makespan(),
+        "faults did not perturb the run: {} vs {}",
+        seq.makespan(),
+        clean.makespan()
+    );
+    for parts in [1usize, 2, 3, 8] {
+        let par = run_par(&platform, &job, &cfg, parts).expect("parallel faulted run");
+        assert_bit_identical(&seq, &par, &format!("faulted bcast p=10240 parts={parts}"));
+    }
+}
+
+/// Faults layered on top of every optional subsystem — seeded noise,
+/// dataflow tracking, message recording — still partition bit-for-bit.
+#[test]
+fn faulted_noisy_tracked_run_is_byte_identical() {
+    let p = 1_024;
+    let platform = scaled_simcluster(p);
+    let job = rdb_exchange(p, 4096);
+    let cfg = SimConfig {
+        seed: 0xFA_017,
+        track_data: true,
+        noise: NoiseModel::gaussian(0.08),
+        record_messages: true,
+        record_phases: true,
+        faults: FaultSpec::none()
+            .with_stall(7, 5e-6, 8e-5)
+            .with_link(ANY_NODE, 0, 0.0, 1e-3, 5.0)
+            .with_storm(100, 180, 1e-5, 5e-4, 6.0),
+    };
+    let seq = run_ref(&platform, &job, &cfg).expect("sequential run");
+    for parts in [2usize, 3, 8] {
+        let par = run_par(&platform, &job, &cfg, parts).expect("parallel run");
+        assert_bit_identical(&seq, &par, &format!("faulted rdb p=1024 parts={parts}"));
+    }
+}
+
+/// `FaultSpec::none()` takes exactly the fault-free code paths: the output
+/// is byte-identical to a config that never mentions faults, sequential
+/// and partitioned alike.
+#[test]
+fn fault_spec_none_is_byte_identical_to_no_faults() {
+    let p = 1_024;
+    let platform = scaled_simcluster(p);
+    let job = binomial_bcast(p, 1024);
+    let plain = run_ref(&platform, &job, &SimConfig::default()).expect("plain run");
+    let none_cfg = SimConfig::default().with_faults(FaultSpec::none());
+    let none_ref = run_ref(&platform, &job, &none_cfg).expect("none() run_ref");
+    assert_bit_identical(&plain, &none_ref, "FaultSpec::none() run_ref");
+    let none_par = run_par(&platform, &job, &none_cfg, 4).expect("none() run_par");
+    assert_bit_identical(&plain, &none_par, "FaultSpec::none() run_par");
 }
 
 /// `run_auto` takes its partition count from the `pap-parallel` thread

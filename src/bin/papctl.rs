@@ -6,6 +6,7 @@
 //! papctl pattern <shape> <ranks> <skew_us> [--seed N]
 //! papctl bench <machine> <collective> <alg> <bytes> [--ranks N] [--shape S] [--skew-us X] [--nrep N] [--backend B]
 //! papctl sweep <machine> <collective> <bytes> [--ranks N] [--nrep N] [--backend B] [--json]
+//!              [--faults] [--max-degradation X]
 //! papctl tune  <machine> [--ranks N] [--nrep N] [--backend B] [--out FILE]
 //! papctl serve [--addr A] [--snapshot F] [--backend B] [--threads N] [--machine M]
 //!              [--ranks N] [--policy P] [--l1 N] [--refine-threads N] [--no-tune]
@@ -14,6 +15,7 @@
 //! papctl query --addr HOST:PORT {--stats|--metrics|--ping|--shutdown}
 //! papctl profile <collective> [--pattern S] [--machine M] [--ranks N] [--bytes B]
 //!                [--alg A] [--skew-us X] [--seed N] [--out FILE] [--check]
+//!                [--fault SPEC]
 //! papctl ft    <machine> [--ranks N] [--alg A] [--iters N]
 //! papctl trace <machine> [--ranks N]                       # FT pattern in file format
 //! papctl lint  [--json] [--ranks 8,12,32] [--eager BYTES]  # static registry sweep
@@ -47,11 +49,17 @@ use pap::arrival::{generate, render_pattern_file, Shape};
 use pap::collectives::registry::{algorithms, experiment_ids};
 use pap::collectives::{CollSpec, CollectiveKind};
 use pap::core::report::render_normalized_table;
-use pap::core::{select, tune_machine, BenchMatrix, SelectionPolicy, TunePlan};
+use pap::core::{
+    render_fault_table, select, select_fault_robust, tune_machine, BenchMatrix, FaultMatrix,
+    SelectionPolicy, TunePlan,
+};
 use pap::lint::{sweep_registry, SweepConfig};
-use pap::microbench::{measure, profile, sweep, Backend, BenchConfig, SkewPolicy};
+use pap::microbench::{
+    calibrate_avg_runtime, fault_sweep, measure, profile_with_faults, standard_grid, sweep,
+    Backend, BenchConfig, SkewPolicy,
+};
 use pap::service::{Client, DefaultPolicy, QueryRequest, ServeConfig, Server, Snapshot};
-use pap::sim::{MachineId, Platform};
+use pap::sim::{FaultSpec, MachineId, Platform};
 use pap::tracer::{ideal_observer, CollectiveTrace, TracerConfig};
 
 struct Args {
@@ -174,6 +182,11 @@ bench/sweep/tune/profile:
              --metrics      record spans and print the metrics snapshot to
                             stderr when the command finishes
 sweep flags: --json         print the benchmark matrix as JSON instead of the table
+             --faults       sweep the standard runtime-fault grid instead of
+                            arrival patterns (sim backend only): stalls, link
+                            slowdowns, noise storms, a leaf crash
+             --max-degradation X  worst-case degradation bound for the
+                            fault-robust pick (default 1.0 = at most 2x slower)
 tune flags: --out FILE      also write the evidence snapshot (decisions + matrices)
                             that `papctl serve --snapshot FILE` warm-starts from
 serve flags: --addr A       listen address (default 127.0.0.1:0 = ephemeral port)
@@ -182,7 +195,8 @@ serve flags: --addr A       listen address (default 127.0.0.1:0 = ephemeral port
              --machine M    machine preset to pre-tune (default simcluster)
              --ranks N      rank count to pre-tune (default 16)
              --policy P     default policy for sample-less queries
-                            (robust | no_delay_fastest; default robust)
+                            (robust | no_delay_fastest | fault_robust[:BOUND];
+                            default robust)
              --l1 N         L1 answer-cache capacity (default 1024; 0 disables)
              --refine-threads N  background sim-refinement workers (default 1; 0 disables)
              --no-tune      start with an empty L2 (every cell computed on demand)
@@ -201,6 +215,10 @@ profile flags: --pattern S  arrival-pattern shape (default imbalanced-linear,
                             undelayed runtime
              --out FILE     trace file (default trace.json; open in Perfetto)
              --check        re-read and validate the written trace
+             --fault SPEC   inject runtime faults; ;-separated clauses of
+                            stall:R@T+D  crash:R@T  link:S-D@F..U*X
+                            storm:R0-R1@F..U*X  (times take us/ms/s suffixes,
+                            e.g. 'stall:0@1ms+500us;crash:7@2ms')
 lint flags: --json          machine-readable SweepSummary document
             --ranks A,B,C   rank counts to sweep (default 8,12,32)
             --eager BYTES   eager threshold for the protocol analysis (default 16384)
@@ -317,6 +335,9 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     let nrep = args.flag("nrep", 3usize);
     let algs = experiment_ids(kind);
     let cfg = bench_config(args, &platform, nrep)?;
+    if args.has("faults") {
+        return cmd_fault_sweep(args, &platform, kind, &algs, bytes, &cfg);
+    }
     let sw = sweep(&platform, kind, &algs, &Shape::SUITE, bytes, SkewPolicy::FactorOfAvg(1.0), &[], &cfg)
         .map_err(|e| e.to_string())?;
     let m = BenchMatrix::from_sweep(&sw);
@@ -328,6 +349,45 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     let nd = select(&m, &SelectionPolicy::NoDelayFastest)?;
     let robust = select(&m, &SelectionPolicy::robust())?;
     println!("status-quo pick: A{nd}; robust pick: A{robust}");
+    Ok(())
+}
+
+/// `papctl sweep … --faults`: the Fig. 6 robustness grid over runtime
+/// faults instead of arrival patterns.
+fn cmd_fault_sweep(
+    args: &Args,
+    platform: &Platform,
+    kind: CollectiveKind,
+    algs: &[u8],
+    bytes: u64,
+    cfg: &BenchConfig,
+) -> Result<(), String> {
+    if cfg.backend != Backend::Sim {
+        return Err("--faults requires the sim backend (the model has no fault model)".to_string());
+    }
+    let t = calibrate_avg_runtime(platform, kind, algs, bytes, cfg).map_err(|e| e.to_string())?;
+    let scenarios = standard_grid(platform.ranks, t);
+    let sw = fault_sweep(platform, kind, algs, bytes, &scenarios, cfg).map_err(|e| e.to_string())?;
+    let m = FaultMatrix::from_fault_sweep(&sw);
+    if args.flags.iter().any(|(n, _)| n == "json") {
+        println!("{}", serde_json::to_string_pretty(&m).map_err(|e| e.to_string())?);
+        return Ok(());
+    }
+    let bound: f64 = args.flag("max-degradation", 1.0);
+    print!("{}", render_fault_table(&m, 0.25).expect("grid has a clean row"));
+    let clean = m.scenario_index("clean").expect("grid has a clean row");
+    let status_quo = select(
+        &BenchMatrix {
+            kind: m.kind,
+            bytes: m.bytes,
+            algs: m.algs.clone(),
+            patterns: vec!["no_delay".into()],
+            values: vec![m.values[clean].iter().map(|v| v.expect("clean row is complete")).collect()],
+        },
+        &SelectionPolicy::NoDelayFastest,
+    )?;
+    let robust = select_fault_robust(&m, bound)?;
+    println!("status-quo pick: A{status_quo}; fault-robust pick (bound {bound}): A{robust}");
     Ok(())
 }
 
@@ -401,13 +461,25 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
         }
     };
     let pattern = generate(shape, ranks, skew_s, seed);
-    let prof = profile(&platform, &spec, &pattern, seed).map_err(|e| e.to_string())?;
+    let faults = match args.opt("fault") {
+        Some(s) => s.parse::<FaultSpec>()?,
+        None => {
+            if args.has("fault") {
+                return Err(
+                    "--fault needs a spec, e.g. 'stall:0@1ms+500us;crash:7@2ms'".to_string()
+                );
+            }
+            FaultSpec::none()
+        }
+    };
+    let prof =
+        profile_with_faults(&platform, &spec, &pattern, seed, &faults).map_err(|e| e.to_string())?;
 
     let out = args.flag("out", "trace.json".to_string());
     prof.trace.save(std::path::Path::new(&out)).map_err(|e| format!("write {out}: {e}"))?;
     println!(
         "profiled {kind} A{alg} {bytes} B on {} ({} ranks), pattern {} (skew {:.1} us): \
-         d̂ {:.3} ms, d* {:.3} ms, {} messages -> {out}",
+         d̂ {:.3} ms, d* {:.3} ms, {} messages{} -> {out}",
         platform.machine,
         prof.ranks,
         pattern.name,
@@ -415,6 +487,7 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
         prof.d_hat * 1e3,
         prof.d_star * 1e3,
         prof.messages,
+        if prof.crashed > 0 { format!(", {} rank(s) crashed", prof.crashed) } else { String::new() },
     );
     if args.has("check") {
         let json = std::fs::read_to_string(&out).map_err(|e| format!("read back {out}: {e}"))?;

@@ -1,5 +1,7 @@
-//! Failure-injection and edge-case tests across the stack: malformed
-//! schedules must surface as typed errors, not hangs or silent corruption.
+//! Malformed-schedule and edge-case tests across the stack: tampered or
+//! invalid *programs* must surface as typed errors, not hangs or silent
+//! corruption. Runtime faults on *well-formed* schedules (crashes, stalls,
+//! link slowdowns) are covered by `tests/fault_injection.rs`.
 
 use pap::arrival::{generate, ArrivalPattern, Shape};
 use pap::collectives::{build, verify, CollSpec, CollectiveKind};
