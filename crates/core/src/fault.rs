@@ -34,6 +34,16 @@ pub struct FaultMatrix {
     /// `scenarios[row]` in seconds, or `None` when the algorithm could not
     /// finish under the scenario.
     pub values: Vec<Vec<Option<f64>>>,
+    /// Provenance: `statically_decided[row][col]` is `true` when the cell
+    /// was settled by `pap-lint`'s static crash cone (no simulator run).
+    /// Empty for matrices persisted before the static prefilter existed.
+    #[serde(default)]
+    pub statically_decided: Vec<Vec<bool>>,
+    /// `pap_microbench::FAULT_GRID_VERSION` of the sweep that produced the
+    /// matrix; `0` for evidence persisted before grids were versioned.
+    /// Mismatched versions must be re-measured, not compared.
+    #[serde(default)]
+    pub grid_version: u32,
 }
 
 impl FaultMatrix {
@@ -43,21 +53,18 @@ impl FaultMatrix {
     /// Panics if the sweep grid is incomplete or has no complete `clean`
     /// row (a baseline that crashed measures nothing).
     pub fn from_fault_sweep(sweep: &FaultSweepResult) -> Self {
+        let cell = |a: u8, s: &String| {
+            sweep.cell(a, s).unwrap_or_else(|| panic!("missing fault cell ({a}, {s})"))
+        };
         let values: Vec<Vec<Option<f64>>> = sweep
             .scenarios
             .iter()
-            .map(|s| {
-                sweep
-                    .algs
-                    .iter()
-                    .map(|&a| {
-                        sweep
-                            .cell(a, s)
-                            .unwrap_or_else(|| panic!("missing fault cell ({a}, {s})"))
-                            .mean_last
-                    })
-                    .collect()
-            })
+            .map(|s| sweep.algs.iter().map(|&a| cell(a, s).mean_last).collect())
+            .collect();
+        let statically_decided: Vec<Vec<bool>> = sweep
+            .scenarios
+            .iter()
+            .map(|s| sweep.algs.iter().map(|&a| cell(a, s).statically_decided).collect())
             .collect();
         let m = FaultMatrix {
             kind: sweep.kind,
@@ -65,6 +72,8 @@ impl FaultMatrix {
             algs: sweep.algs.clone(),
             scenarios: sweep.scenarios.clone(),
             values,
+            statically_decided,
+            grid_version: sweep.grid_version,
         };
         let clean = m.scenario_index("clean").expect("fault matrix needs a clean row");
         assert!(
@@ -105,15 +114,22 @@ impl FaultMatrix {
         )
     }
 
-    /// Per-algorithm worst-case degradation over all scenarios;
-    /// `f64::INFINITY` where any scenario starved the algorithm. This is
-    /// the quantity the fault-robust policy bounds.
+    /// Per-algorithm worst-case degradation over the *discriminating*
+    /// scenarios; `f64::INFINITY` where such a scenario starved the
+    /// algorithm. This is the quantity the fault-robust policy bounds.
+    ///
+    /// A scenario that starves **every** algorithm (e.g. an entry crash
+    /// under a rooted reduction — no schedule survives losing a
+    /// contributor) is excluded: there is nothing to route around, so it
+    /// carries no signal and must not drown the scenarios where the choice
+    /// of algorithm actually matters.
     pub fn worst_case_degradation(&self) -> Option<Vec<f64>> {
         let deg = self.degradation()?;
         Some(
             (0..self.algs.len())
                 .map(|c| {
                     deg.iter()
+                        .filter(|row| row.iter().any(Option::is_some))
                         .map(|row| row[c].unwrap_or(f64::INFINITY))
                         .fold(f64::NEG_INFINITY, f64::max)
                 })
@@ -214,6 +230,8 @@ mod tests {
                 vec![Some(1.8), Some(2.0), Some(7.0)],
                 vec![None, Some(1.8), Some(2.4)],
             ],
+            statically_decided: Vec::new(),
+            grid_version: 0,
         }
     }
 
@@ -231,6 +249,21 @@ mod tests {
         assert_eq!(w[0], f64::INFINITY);
         assert!((w[1] - 0.3333333333333333).abs() < 1e-9, "{w:?}");
         assert!((w[2] - 2.5).abs() < 1e-9, "{w:?}");
+    }
+
+    #[test]
+    fn all_starved_scenarios_do_not_drown_the_worst_case() {
+        // An entry crash that kills every schedule (v2 grid semantics on a
+        // rooted reduction) carries no signal: with the row counted,
+        // every algorithm's worst case would be inf and minimax would
+        // degenerate to the clean winner.
+        let mut m = matrix();
+        m.scenarios.push("crash_all".into());
+        m.values.push(vec![None, None, None]);
+        let w = m.worst_case_degradation().unwrap();
+        assert_eq!(w[0], f64::INFINITY, "starving a survivable scenario still counts");
+        assert!(w[1].is_finite() && w[2].is_finite(), "{w:?}");
+        assert_eq!(select_fault_robust(&m, 1.0).unwrap(), 2);
     }
 
     #[test]

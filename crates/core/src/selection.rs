@@ -152,6 +152,8 @@ mod tests {
                 vec![Some(1.0), Some(1.3), Some(1.4)],
                 vec![None, Some(1.5), Some(2.9)],
             ],
+            statically_decided: Vec::new(),
+            grid_version: 0,
         };
         let policy = SelectionPolicy::FaultRobust { max_degradation: 1.0 };
         assert_eq!(select_with_faults(&matrix(), Some(&fm), &policy).unwrap(), 2);

@@ -41,7 +41,7 @@ fn is_eager(bytes: u64, proto: Protocol) -> bool {
 }
 
 /// Why a rank cannot advance past its current op.
-enum Stall {
+pub(crate) enum Stall {
     /// Waiting for the peer rank to reach flat index `flat`
     /// (`strict`: must move *past* it, for non-blocking counterparts).
     On { rank: usize, flat: usize, strict: bool },
@@ -49,10 +49,28 @@ enum Stall {
     Unmatched,
 }
 
-struct ExecOutcome {
+pub(crate) struct ExecOutcome {
     /// Per rank: `None` if the rank finished, else the flat index it
     /// stalled at together with the reason.
-    stalled: Vec<Option<(usize, Stall)>>,
+    pub stalled: Vec<Option<(usize, Stall)>>,
+}
+
+/// Fail-stop assumptions for a crash-cone run: per rank, `Some(k)` means the
+/// rank completed exactly its first `k` flattened ops and then died.
+///
+/// Mirrors the engine's crash semantics for a rank halting *while
+/// attempting* op `k`: nothing of op `k` escapes. A send never injects its
+/// message (the sender dies during the send overhead), a receive never
+/// enters the matching queue (posting charges `recv_overhead` and "died
+/// posting the receive: nothing was matched or consumed"), so a crashed
+/// rank's op at `k` is never "posted" — unlike a live rank parked on a
+/// blocking op. Ops below `k` completed normally: messages they sent are in
+/// flight (survivor receives still complete — the engine only drops
+/// deliveries *addressed to* the dead rank), receives they posted consumed
+/// their counterpart.
+pub(crate) struct CrashPlan {
+    /// `limits[r] = Some(k)`: rank `r` fail-stops having completed `[0, k)`.
+    pub limits: Vec<Option<usize>>,
 }
 
 /// Run both protocol passes and emit deadlock / fragility diagnostics.
@@ -62,14 +80,14 @@ pub(crate) fn check(
     cfg: &LintConfig,
 ) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
-    let actual = execute(flat, matching, Some(cfg.eager_threshold));
+    let actual = execute(flat, matching, Some(cfg.eager_threshold), None);
     if let Some(d) = cycle_diagnostic(flat, &actual, DiagClass::Deadlock, cfg.eager_threshold) {
         diags.push(d);
         return diags; // A real deadlock subsumes the fragility question.
     }
     let completed = actual.stalled.iter().all(Option::is_none);
     if completed && cfg.check_fragility {
-        let rdv = execute(flat, matching, None);
+        let rdv = execute(flat, matching, None, None);
         if let Some(d) = cycle_diagnostic(flat, &rdv, DiagClass::ProtocolFragility, cfg.eager_threshold) {
             diags.push(d);
         }
@@ -78,16 +96,40 @@ pub(crate) fn check(
 }
 
 /// Advance every rank to the least fixpoint under `proto`.
-fn execute(flat: &[FlatProgram<'_>], matching: &Matching, proto: Protocol) -> ExecOutcome {
+///
+/// With a [`CrashPlan`], crashed ranks are frozen at their completed-op
+/// count and never advance; they are reported as *not* stalled (dead by
+/// design, not starved) — survivors transitively blocked on them surface
+/// in `stalled` as the crash cone.
+pub(crate) fn execute(
+    flat: &[FlatProgram<'_>],
+    matching: &Matching,
+    proto: Protocol,
+    crash: Option<&CrashPlan>,
+) -> ExecOutcome {
     let ranks = flat.len();
+    let crashed_limit =
+        |r: usize| -> Option<usize> { crash.and_then(|c| c.limits.get(r).copied().flatten()) };
     let mut pos = vec![0usize; ranks];
     // Posted-but-unwaited requests: req → flat index of the posting op.
     let mut pending: Vec<HashMap<usize, usize>> = vec![HashMap::new(); ranks];
     // waiters[r] = ranks to re-try once pos[r] satisfies (flat, strict).
     let mut waiters: Vec<Vec<(usize, bool, usize)>> = vec![Vec::new(); ranks];
     let mut stalled: Vec<Option<(usize, Stall)>> = (0..ranks).map(|_| None).collect();
-    let mut queue: Vec<usize> = (0..ranks).collect();
-    let mut queued = vec![true; ranks];
+    let mut queue: Vec<usize> = Vec::with_capacity(ranks);
+    let mut queued = vec![false; ranks];
+    for r in 0..ranks {
+        match crashed_limit(r) {
+            // The completed prefix is a premise of the crash point, not
+            // something to re-derive: pin the position and never run the
+            // rank.
+            Some(k) => pos[r] = k.min(flat[r].ops.len()),
+            None => {
+                queued[r] = true;
+                queue.push(r);
+            }
+        }
+    }
 
     while let Some(r) = queue.pop() {
         queued[r] = false;
@@ -96,7 +138,7 @@ fn execute(flat: &[FlatProgram<'_>], matching: &Matching, proto: Protocol) -> Ex
                 stalled[r] = None;
                 break;
             };
-            match try_complete(f.op, r, pos[r], &pos, &pending[r], matching, proto, flat) {
+            match try_complete(f.op, r, pos[r], &pos, &pending[r], matching, proto, flat, crash) {
                 Ok(freed) => {
                     for req in freed {
                         pending[r].remove(&req);
@@ -152,11 +194,30 @@ fn wake(
 }
 
 /// Is the counterpart of `m` (at `c_rank`/`c_flat`) posted, given positions?
-fn counterpart_posted(flat: &[FlatProgram<'_>], pos: &[usize], c_rank: usize, c_flat: usize) -> Result<(), Stall> {
+fn counterpart_posted(
+    flat: &[FlatProgram<'_>],
+    pos: &[usize],
+    c_rank: usize,
+    c_flat: usize,
+    crash: Option<&CrashPlan>,
+) -> Result<(), Stall> {
     // Blocking counterparts post on arrival (pos == flat); non-blocking
     // ones once executed (pos > flat).
     let strict = !flat[c_rank].ops[c_flat].op.is_blocking();
-    let ready = if strict { pos[c_rank] > c_flat } else { pos[c_rank] >= c_flat };
+    let ready = match crash.and_then(|c| c.limits.get(c_rank).copied().flatten()) {
+        // A crashed counterpart only counts if it *completed* before death:
+        // the op it died attempting never entered the channels (no message
+        // injected, no receive posted), so the usual "blocking ops post on
+        // arrival" rule does not apply at the crash position.
+        Some(k) => c_flat < k,
+        None => {
+            if strict {
+                pos[c_rank] > c_flat
+            } else {
+                pos[c_rank] >= c_flat
+            }
+        }
+    };
     if ready {
         Ok(())
     } else {
@@ -176,6 +237,7 @@ fn try_complete(
     matching: &Matching,
     proto: Protocol,
     flat: &[FlatProgram<'_>],
+    crash: Option<&CrashPlan>,
 ) -> Result<Vec<usize>, Stall> {
     match op {
         Op::Send { bytes, .. } => {
@@ -184,12 +246,12 @@ fn try_complete(
             }
             match matching.send_match[r].get(&i) {
                 None => Err(Stall::Unmatched),
-                Some(c) => counterpart_posted(flat, pos, c.rank, c.flat).map(|()| vec![]),
+                Some(c) => counterpart_posted(flat, pos, c.rank, c.flat, crash).map(|()| vec![]),
             }
         }
         Op::Recv { .. } => match matching.recv_match[r].get(&i) {
             None => Err(Stall::Unmatched),
-            Some(c) => counterpart_posted(flat, pos, c.rank, c.flat).map(|()| vec![]),
+            Some(c) => counterpart_posted(flat, pos, c.rank, c.flat, crash).map(|()| vec![]),
         },
         Op::WaitAll { reqs } => {
             for &req in reqs {
@@ -204,12 +266,12 @@ fn try_complete(
                         }
                         match matching.send_match[r].get(&j) {
                             None => return Err(Stall::Unmatched),
-                            Some(c) => counterpart_posted(flat, pos, c.rank, c.flat)?,
+                            Some(c) => counterpart_posted(flat, pos, c.rank, c.flat, crash)?,
                         }
                     }
                     CommDir::Recv => match matching.recv_match[r].get(&j) {
                         None => return Err(Stall::Unmatched),
-                        Some(c) => counterpart_posted(flat, pos, c.rank, c.flat)?,
+                        Some(c) => counterpart_posted(flat, pos, c.rank, c.flat, crash)?,
                     },
                 }
             }

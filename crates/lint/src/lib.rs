@@ -26,11 +26,25 @@
 //! 5. **Slot dataflow** — use-before-init, send-from-cleared-slot, dead
 //!    stores, and accesses racing a pending `Irecv` delivery.
 //!
+//! ## Fault reachability and repair
+//!
+//! The same fixpoint answers *"who starves if rank `R` dies after `k`
+//! ops?"* ([`crash_cone`], [`blast_radius`], [`cone_profile`] in
+//! [`faults`]) — exactly the engine's starved-rank set for an entry
+//! crash, differentially pinned on the whole registry. Where the crashed
+//! rank's dependence structure allows, [`repair`] rewrites the schedule to
+//! route around the dead rank; [`certified_repair`] accepts a rewrite only
+//! if it re-lints clean across all diagnostic classes *and* leaves an
+//! empty residual cone.
+//!
 //! ## Surfaces
 //!
 //! * [`lint_job`] — lint one job;
 //! * [`sweep`] — lint every registered algorithm across rank counts, roots
 //!   and eager-straddling sizes (`papctl lint`);
+//! * [`sweep_faults`] — registry-wide crash cones, blast radii and
+//!   certified victim repairs (`papctl lint --faults`);
+//! * [`certified_repair`] — one repair, certified (`papctl repair`);
 //! * `BenchConfig::lint` in `pap-microbench` — opt-in pre-run check.
 
 #![forbid(unsafe_code)]
@@ -40,12 +54,19 @@ mod channels;
 mod dataflow;
 pub mod diag;
 mod exec;
+pub mod faults;
+pub mod repair;
 mod requests;
 pub mod sweep;
 
 use pap_sim::{Job, Op, Platform};
 
 pub use diag::{DiagClass, Diagnostic, LintReport, OpLoc, Severity};
+pub use faults::{
+    blast_radius, cone_profile, crash_cone, sweep_faults, BlastRadius, CrashCone, CrashPoint,
+    FaultAlgRow, FaultCaseRow, FaultSweepConfig, FaultSweepSummary, RepairVerdict, StarvedOp,
+};
+pub use repair::{certified_repair, repair_job, RepairError, RepairOutcome};
 pub use sweep::{sweep_registry, SweepConfig, SweepSummary};
 
 /// Linter configuration.

@@ -9,7 +9,7 @@ use serde::{Deserialize, Serialize};
 use crate::{lint_job, LintConfig};
 
 /// All kinds, in registry order.
-const KINDS: [CollectiveKind; 8] = [
+pub(crate) const KINDS: [CollectiveKind; 8] = [
     CollectiveKind::Reduce,
     CollectiveKind::Allreduce,
     CollectiveKind::Alltoall,
@@ -22,7 +22,7 @@ const KINDS: [CollectiveKind; 8] = [
 
 /// Whether the builders of a kind consume `spec.root` (rooted collectives,
 /// plus Allreduce whose reduce+bcast composition routes through the root).
-fn uses_root(kind: CollectiveKind) -> bool {
+pub(crate) fn uses_root(kind: CollectiveKind) -> bool {
     !matches!(kind, CollectiveKind::Alltoall | CollectiveKind::Allgather | CollectiveKind::Barrier)
 }
 

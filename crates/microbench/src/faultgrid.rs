@@ -14,12 +14,25 @@
 //! algorithm. [`pap_core`]'s fault matrix maps those to an unbounded
 //! worst-case degradation, which the fault-robust selection policy avoids.
 
-use pap_collectives::{CollSpec, CollectiveKind, TAG_SPAN};
-use pap_sim::{FaultSpec, Platform, SimError, ANY_NODE};
+use pap_collectives::{build, CollSpec, CollectiveKind, TAG_SPAN};
+use pap_lint::{crash_cone, CrashPoint, LintConfig};
+use pap_sim::{FaultSpec, Job, Platform, RankProgram, SimError, ANY_NODE};
 use serde::{Deserialize, Serialize};
 
 use crate::harness::{measure, BenchConfig, BenchError, START_TARGET};
 use crate::sweep::derive_seed;
+
+/// Version of the standard fault grid's scenario semantics. Bump whenever
+/// the scenario set or its timing changes in a way that makes persisted
+/// fault evidence (snapshots, fixtures) incomparable with fresh sweeps.
+///
+/// * v1 — crashes placed *inside* the collective (`start + 0.05 t`).
+/// * v2 — crashes placed **at the arrival instant** (`start`): with strictly
+///   positive send/receive overheads, nothing of the crashed rank's schedule
+///   posts, so the engine's starved set equals `pap-lint`'s static
+///   entry-crash cone exactly — the alignment the static prefilter and the
+///   differential tests rely on.
+pub const FAULT_GRID_VERSION: u32 = 2;
 
 /// A named fault scenario: one cell column of the fault grid.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -51,8 +64,10 @@ impl FaultScenario {
 ///   collective window;
 /// * `storm_half` — ranks `[0, p/2)` compute 4× slower for the whole
 ///   window (correlated OS-noise storm);
-/// * `crash_leaf` — the last rank dies just as the collective starts;
+/// * `crash_leaf` — the last rank dies **at the arrival instant**;
 ///   algorithms whose schedule needs that rank's cooperation never finish.
+///   Crashing at (not after) arrival keeps the starved set identical to the
+///   static entry-crash cone ([`FAULT_GRID_VERSION`] v2 semantics).
 pub fn standard_grid(p: usize, t: f64) -> Vec<FaultScenario> {
     let start = START_TARGET;
     let window = start + 4.0 * t.max(1e-6);
@@ -75,10 +90,7 @@ pub fn standard_grid(p: usize, t: f64) -> Vec<FaultScenario> {
             "storm_half",
             FaultSpec::none().with_storm(0, p / 2 - 1, start, window, 4.0),
         ),
-        FaultScenario::new(
-            "crash_leaf",
-            FaultSpec::none().with_crash(p - 1, start + 0.05 * t),
-        ),
+        FaultScenario::new("crash_leaf", FaultSpec::none().with_crash(p - 1, start)),
     ]
 }
 
@@ -92,6 +104,12 @@ pub struct FaultCell {
     /// Mean last delay `d̂` over the surviving ranks, or `None` when the
     /// algorithm could not finish under the scenario (starved dependents).
     pub mean_last: Option<f64>,
+    /// The cell was decided by `pap-lint`'s static crash cone instead of a
+    /// simulator run: an entry-crash scenario whose cone is non-empty can
+    /// never finish, so no sim is spent on it. `false` for measured cells
+    /// (and for evidence persisted before this field existed).
+    #[serde(default)]
+    pub statically_decided: bool,
 }
 
 /// Results of one (collective, message size) fault sweep.
@@ -107,6 +125,11 @@ pub struct FaultSweepResult {
     pub scenarios: Vec<String>,
     /// All cells (algs × scenarios), algorithm-major.
     pub cells: Vec<FaultCell>,
+    /// [`FAULT_GRID_VERSION`] the sweep ran under; `0` for evidence
+    /// persisted before grids were versioned. Consumers reject mismatches
+    /// rather than compare incomparable scenario timings.
+    #[serde(default)]
+    pub grid_version: u32,
 }
 
 impl FaultSweepResult {
@@ -116,12 +139,33 @@ impl FaultSweepResult {
     }
 }
 
+/// Whether a scenario is decidable by the static crash cone alone: only
+/// crashes (no stalls/links/storms — those change timing, not feasibility),
+/// each placed at or before the harmonized start. Under the grid's `NoDelay`
+/// arrival and a shared perfect clock, such a crash fires before the rank
+/// posts anything — the engine's starved set then equals the static
+/// entry-crash cone, so a non-empty cone proves the cell can never finish.
+fn statically_decidable(faults: &FaultSpec, cfg: &BenchConfig) -> bool {
+    !cfg.clock_sync
+        && !faults.crashes.is_empty()
+        && faults.stalls.is_empty()
+        && faults.links.is_empty()
+        && faults.storms.is_empty()
+        && faults.crashes.iter().all(|c| c.at <= START_TARGET)
+}
+
 /// Run the `(algorithms × scenarios)` fault grid for one collective and
 /// message size. Cells fan out over [`pap_parallel::par_map`] with derived
 /// seeds and disjoint tag ranges, exactly like [`crate::sweep`], so the
 /// result is byte-identical at any thread count. The arrival pattern is
 /// `NoDelay` throughout: the grid isolates fault response from skew
 /// response (compose with [`crate::sweep`] for the combined picture).
+///
+/// Entry-crash scenarios are pre-filtered by `pap-lint`'s static crash
+/// cone: a non-empty cone settles the cell as `mean_last = None` (flagged
+/// [`FaultCell::statically_decided`]) without spending a simulator run —
+/// the differential test tier pins the static and simulated starved sets
+/// against each other, so the shortcut cannot drift from the engine.
 pub fn fault_sweep(
     platform: &Platform,
     kind: CollectiveKind,
@@ -140,8 +184,26 @@ pub fn fault_sweep(
         }
     }
 
+    let lint_cfg = LintConfig::for_platform(platform);
     let runs = pap_parallel::par_map(&grid, |gi, &(alg, cell_id, scenario)| {
         let spec = CollSpec::new(kind, alg, bytes).with_tag_base(cell_id * 8 * TAG_SPAN);
+        if statically_decidable(&scenario.faults, cfg) {
+            let built = build(&spec, p).map_err(BenchError::Build)?;
+            let job =
+                Job::new(built.rank_ops.into_iter().map(RankProgram::from_ops).collect());
+            let crashes: Vec<CrashPoint> =
+                scenario.faults.crashes.iter().map(|c| CrashPoint::on_entry(c.rank)).collect();
+            if !crash_cone(&job, &lint_cfg, &crashes).is_empty() {
+                return Ok(FaultCell {
+                    alg,
+                    scenario: scenario.name.clone(),
+                    mean_last: None,
+                    statically_decided: true,
+                });
+            }
+            // Empty cone: the schedule provably completes — fall through to
+            // the sim for the actual degraded timing.
+        }
         let run_cfg = cfg
             .clone()
             .with_seed(derive_seed(cfg.seed, gi as u64))
@@ -149,13 +211,21 @@ pub fn fault_sweep(
         match measure(platform, &spec, &nodelay, &run_cfg) {
             Ok(stats) => {
                 pap_obs::pump_spans();
-                Ok(FaultCell { alg, scenario: scenario.name.clone(), mean_last: Some(stats.mean_last()) })
+                Ok(FaultCell {
+                    alg,
+                    scenario: scenario.name.clone(),
+                    mean_last: Some(stats.mean_last()),
+                    statically_decided: false,
+                })
             }
             // A deadlock here is the *measured outcome* of the scenario —
             // the schedule needs a dead rank — not a harness failure.
-            Err(BenchError::Sim(SimError::Deadlock { .. })) => {
-                Ok(FaultCell { alg, scenario: scenario.name.clone(), mean_last: None })
-            }
+            Err(BenchError::Sim(SimError::Deadlock { .. })) => Ok(FaultCell {
+                alg,
+                scenario: scenario.name.clone(),
+                mean_last: None,
+                statically_decided: false,
+            }),
             Err(e) => Err(e),
         }
     });
@@ -167,6 +237,7 @@ pub fn fault_sweep(
         algs: algs.to_vec(),
         scenarios: scenarios.iter().map(|s| s.name.clone()).collect(),
         cells,
+        grid_version: FAULT_GRID_VERSION,
     })
 }
 
@@ -220,6 +291,27 @@ mod tests {
         let res =
             fault_sweep(&platform, CollectiveKind::Reduce, &[5], 1024, &scenarios, &cfg).unwrap();
         assert_eq!(res.cell(5, "crash_leaf").unwrap().mean_last, None);
+    }
+
+    #[test]
+    fn entry_crash_cells_are_decided_statically_and_match_the_engine() {
+        let platform = Platform::simcluster(8);
+        let cfg = BenchConfig::simulation();
+        let scenarios = standard_grid(8, 1e-4);
+        let res =
+            fault_sweep(&platform, CollectiveKind::Reduce, &[1, 5], 1024, &scenarios, &cfg)
+                .unwrap();
+        assert_eq!(res.grid_version, FAULT_GRID_VERSION);
+        for alg in [1u8, 5] {
+            // Killing the leaf at arrival starves every reduce schedule:
+            // the static cone settles the cell, no simulator run needed.
+            let cell = res.cell(alg, "crash_leaf").unwrap();
+            assert_eq!(cell.mean_last, None);
+            assert!(cell.statically_decided, "entry crash must be decided by the cone");
+            // Timing scenarios can never be decided statically.
+            assert!(!res.cell(alg, "stall_root").unwrap().statically_decided);
+            assert!(!res.cell(alg, "clean").unwrap().statically_decided);
+        }
     }
 
     #[test]

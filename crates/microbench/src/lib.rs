@@ -31,7 +31,9 @@ pub mod stats;
 pub mod sweep;
 
 pub use adaptive::{measure_adaptive, relative_ci, AdaptiveStats, StopRule};
-pub use faultgrid::{fault_sweep, standard_grid, FaultCell, FaultScenario, FaultSweepResult};
+pub use faultgrid::{
+    fault_sweep, standard_grid, FaultCell, FaultScenario, FaultSweepResult, FAULT_GRID_VERSION,
+};
 pub use harness::{measure, Backend, BenchConfig, BenchError, Measurement, START_TARGET};
 pub use predictor::{predictor_for, ModelPredictor, Predictor, SimPredictor};
 pub use profile::{profile, profile_with_faults, Profile};

@@ -43,4 +43,4 @@ pub use proto::{
 };
 pub use server::{ServeConfig, Server};
 pub use snapshot::{Snapshot, SnapshotCell, SNAPSHOT_FORMAT};
-pub use store::{CellKey, DefaultPolicy, TierStore};
+pub use store::{measure_fault_matrix, CellKey, DefaultPolicy, TierStore};

@@ -6,7 +6,8 @@
 //! including per-pattern `best_under:<shape>` picks for queries that carry
 //! arrival samples — without re-running the tuning sweep.
 
-use pap_core::{BenchMatrix, TuneRecord, TuningEntry, TuningTable};
+use pap_core::{BenchMatrix, FaultMatrix, TuneRecord, TuningEntry, TuningTable};
+use pap_microbench::FAULT_GRID_VERSION;
 use serde::{Deserialize, Serialize};
 
 /// Current snapshot file format version.
@@ -21,6 +22,11 @@ pub struct SnapshotCell {
     pub status_quo: u8,
     /// The benchmark matrix backing the decision.
     pub matrix: BenchMatrix,
+    /// Degraded-mode evidence (`papctl tune --faults`): lets a restarted
+    /// `papd --policy fault_robust` answer without re-measuring the fault
+    /// grid. Absent in snapshots written without `--faults`.
+    #[serde(default)]
+    pub faults: Option<FaultMatrix>,
 }
 
 /// A persisted tuning run: everything `papd` needs for an L2 warm start.
@@ -52,6 +58,7 @@ impl Snapshot {
                     entry: r.entry.clone(),
                     status_quo: r.status_quo,
                     matrix: r.matrix.clone(),
+                    faults: None,
                 })
                 .collect(),
         }
@@ -86,6 +93,25 @@ impl Snapshot {
                     "snapshot cell {i}: decided alg {} absent from its evidence matrix",
                     cell.entry.alg
                 ));
+            }
+            if let Some(fm) = &cell.faults {
+                // Fault grids from a different sweep definition measure
+                // different scenarios; serving from them would silently mix
+                // incomparable evidence. Reject instead of re-measuring so
+                // the operator knows the snapshot is stale.
+                if fm.grid_version != FAULT_GRID_VERSION {
+                    return Err(format!(
+                        "snapshot cell {i}: fault grid v{} does not match current v{FAULT_GRID_VERSION}; \
+                         re-run `papctl tune --faults --out`",
+                        fm.grid_version
+                    ));
+                }
+                if fm.kind != cell.entry.kind || fm.bytes != cell.entry.bytes {
+                    return Err(format!(
+                        "snapshot cell {i}: fault evidence is for {} @ {} B, cell is {} @ {} B",
+                        fm.kind, fm.bytes, cell.entry.kind, cell.entry.bytes
+                    ));
+                }
             }
         }
         Ok(snap)
@@ -140,6 +166,55 @@ mod tests {
         snap.save(&path).unwrap();
         assert_eq!(Snapshot::load(&path).unwrap(), snap);
         std::fs::remove_file(&path).ok();
+    }
+
+    /// A synthetic-but-valid fault grid for the first tiny cell: alg 2 is
+    /// the only one that survives the (made-up) scenario.
+    fn doctored_faults(cell: &SnapshotCell) -> FaultMatrix {
+        FaultMatrix {
+            kind: cell.entry.kind,
+            bytes: cell.entry.bytes,
+            algs: vec![1, 2],
+            scenarios: vec!["clean".into(), "doctored".into()],
+            values: vec![vec![Some(1.0), Some(1.5)], vec![None, Some(1.6)]],
+            statically_decided: Vec::new(),
+            grid_version: FAULT_GRID_VERSION,
+        }
+    }
+
+    #[test]
+    fn fault_evidence_round_trips_and_versions_are_enforced() {
+        let records = tiny_records();
+        let mut snap = Snapshot::from_records("SimCluster", 8, "model", &records);
+        snap.cells[0].faults = Some(doctored_faults(&snap.cells[0]));
+        let back = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.cells[0].faults.as_ref().unwrap().scenarios[1], "doctored");
+        assert!(back.cells[1].faults.is_none());
+
+        // A fault grid from an older sweep definition is rejected outright.
+        let mut stale = snap.clone();
+        stale.cells[0].faults.as_mut().unwrap().grid_version = FAULT_GRID_VERSION - 1;
+        let err = Snapshot::from_json(&stale.to_json()).unwrap_err();
+        assert!(err.contains("fault grid"), "{err}");
+        assert!(err.contains(&format!("v{FAULT_GRID_VERSION}")), "{err}");
+
+        // Fault evidence must describe the cell it is attached to.
+        let mut crossed = snap.clone();
+        crossed.cells[0].faults.as_mut().unwrap().bytes += 1;
+        assert!(Snapshot::from_json(&crossed.to_json()).unwrap_err().contains("fault evidence"));
+    }
+
+    #[test]
+    fn pre_fault_snapshots_still_load() {
+        // Snapshots written before fault evidence existed have no `faults`
+        // key at all; they must keep loading (with lazy re-measurement).
+        let records = tiny_records();
+        let snap = Snapshot::from_records("SimCluster", 8, "model", &records);
+        let legacy = snap.to_json().replace(",\n      \"faults\": null", "");
+        assert_ne!(legacy, snap.to_json(), "the faults key should have been stripped");
+        let back = Snapshot::from_json(&legacy).unwrap();
+        assert!(back.cells.iter().all(|c| c.faults.is_none()));
     }
 
     #[test]

@@ -186,7 +186,9 @@ impl TierStore {
         self.stats.l2_cells.set(l2.len() as i64);
     }
 
-    /// Seed L2 from a warm-restart snapshot.
+    /// Seed L2 from a warm-restart snapshot. Cells carrying fault evidence
+    /// (`papctl tune --faults`) seed it too, so a `--policy fault_robust`
+    /// daemon answers straight from L2 with no lazy fault-grid re-measure.
     pub fn ingest_snapshot(&self, snap: &Snapshot) {
         let mut l2 = self.l2.write().expect("l2 lock");
         for cell in &snap.cells {
@@ -201,7 +203,7 @@ impl TierStore {
                 CellEvidence {
                     matrix: cell.matrix.clone(),
                     status_quo: cell.status_quo,
-                    faults: None,
+                    faults: cell.faults.clone(),
                     backend: snap.backend.clone(),
                     generation: 0,
                 },
@@ -515,22 +517,13 @@ impl TierStore {
         select_with_faults(&cell.matrix, cell.faults.as_ref(), policy)
     }
 
-    /// Measure the standard fault grid for one cell. Always sim-backed:
-    /// the analytical model has no fault model.
+    /// Measure the standard fault grid for one cell.
     fn compute_fault_matrix(
         &self,
         machine_id: MachineId,
         key: &CellKey,
     ) -> Result<FaultMatrix, String> {
-        let platform = Platform::preset(machine_id, key.ranks);
-        let algs = experiment_ids(key.kind);
-        let cfg = BenchConfig::simulation();
-        let t = no_delay_runtime(&platform, key.kind, algs[0], key.bytes, &cfg, 0)
-            .map_err(|e| format!("fault grid {} @ {} B: {e}", key.kind, key.bytes))?;
-        let scenarios = standard_grid(key.ranks, t);
-        let sw = fault_sweep(&platform, key.kind, &algs, key.bytes, &scenarios, &cfg)
-            .map_err(|e| format!("fault grid {} @ {} B: {e}", key.kind, key.bytes))?;
-        Ok(FaultMatrix::from_fault_sweep(&sw))
+        measure_fault_matrix(machine_id, key.kind, key.ranks, key.bytes)
     }
 
     /// Run the full algorithm × pattern sweep for one cell.
@@ -547,6 +540,27 @@ impl TierStore {
             .map_err(|e| format!("{} @ {} B: {e}", key.kind, key.bytes))?;
         Ok(BenchMatrix::from_sweep(&sw))
     }
+}
+
+/// Measure the standard fault grid for one `(machine, collective, ranks,
+/// bytes)` cell. Always sim-backed: the analytical model has no fault
+/// model. Shared by the store's lazy fault-evidence path and
+/// `papctl tune --faults` (which persists the result into the snapshot).
+pub fn measure_fault_matrix(
+    machine_id: MachineId,
+    kind: CollectiveKind,
+    ranks: usize,
+    bytes: u64,
+) -> Result<FaultMatrix, String> {
+    let platform = Platform::preset(machine_id, ranks);
+    let algs = experiment_ids(kind);
+    let cfg = BenchConfig::simulation();
+    let t = no_delay_runtime(&platform, kind, algs[0], bytes, &cfg, 0)
+        .map_err(|e| format!("fault grid {kind} @ {bytes} B: {e}"))?;
+    let scenarios = standard_grid(ranks, t);
+    let sw = fault_sweep(&platform, kind, &algs, bytes, &scenarios, &cfg)
+        .map_err(|e| format!("fault grid {kind} @ {bytes} B: {e}"))?;
+    Ok(FaultMatrix::from_fault_sweep(&sw))
 }
 
 /// Stable wire label of a selection policy.
@@ -736,6 +750,51 @@ mod tests {
         let proto = generate(Shape::LastDelayed, 8, 1e-3, 0);
         let (c, _) = s.resolve(&query(1024, Some(proto.delays.clone()))).unwrap();
         assert!(c.policy.starts_with("best_under:"));
+    }
+
+    #[test]
+    fn snapshot_fault_evidence_serves_without_remeasurement() {
+        use crate::snapshot::Snapshot;
+        use pap_microbench::FAULT_GRID_VERSION;
+
+        let platform = Platform::simcluster(8);
+        let plan = TunePlan {
+            kinds: vec![CollectiveKind::Reduce],
+            sizes: vec![1024],
+            ..TunePlan::default()
+        };
+        let cfg = BenchConfig::simulation().with_backend(Backend::Model);
+        let (_, records) = tune_machine(&platform, &plan, &cfg).unwrap();
+        let mut snap = Snapshot::from_records("SimCluster", 8, "model", &records);
+        // Doctored-but-valid fault evidence: a scenario set the fault-grid
+        // measurement would never produce, picking alg 2. If the store
+        // re-measured on query, both the answer and the stored evidence
+        // would differ.
+        snap.cells[0].faults = Some(FaultMatrix {
+            kind: snap.cells[0].entry.kind,
+            bytes: snap.cells[0].entry.bytes,
+            algs: vec![1, 2],
+            scenarios: vec!["clean".into(), "doctored".into()],
+            values: vec![vec![Some(1.0), Some(1.5)], vec![None, Some(1.6)]],
+            statically_decided: Vec::new(),
+            grid_version: FAULT_GRID_VERSION,
+        });
+        let snap = Snapshot::from_json(&snap.to_json()).unwrap();
+
+        let s = fault_store(32);
+        s.ingest_snapshot(&snap);
+        let (a, _) = s.resolve(&query(1024, None)).unwrap();
+        assert_eq!(a.tier, Tier::L2);
+        assert_eq!(a.alg, 2, "the answer must come from the snapshot's fault evidence");
+        let key = CellKey {
+            machine: "SimCluster".into(),
+            kind: CollectiveKind::Reduce,
+            ranks: 8,
+            bytes: 1024,
+        };
+        let l2 = s.l2.read().unwrap();
+        let fm = l2.get(&key).unwrap().faults.as_ref().expect("evidence survives ingest");
+        assert_eq!(fm.scenarios, vec!["clean", "doctored"], "no fault re-measurement happened");
     }
 
     #[test]

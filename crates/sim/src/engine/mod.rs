@@ -84,6 +84,24 @@ pub enum SimError {
     InvalidProgram(String),
 }
 
+impl SimError {
+    /// The sorted set of ranks starved at a deadlock (survivors blocked on
+    /// an op that can never complete); empty for other errors. This is the
+    /// dynamic counterpart of `pap-lint`'s static crash cone — differential
+    /// tests pin the two against each other.
+    pub fn starved_ranks(&self) -> Vec<usize> {
+        match self {
+            SimError::Deadlock { blocked, .. } => {
+                let mut ranks: Vec<usize> = blocked.iter().map(|(r, _)| *r).collect();
+                ranks.sort_unstable();
+                ranks.dedup();
+                ranks
+            }
+            SimError::InvalidProgram(_) => Vec::new(),
+        }
+    }
+}
+
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

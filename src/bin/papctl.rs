@@ -7,7 +7,7 @@
 //! papctl bench <machine> <collective> <alg> <bytes> [--ranks N] [--shape S] [--skew-us X] [--nrep N] [--backend B]
 //! papctl sweep <machine> <collective> <bytes> [--ranks N] [--nrep N] [--backend B] [--json]
 //!              [--faults] [--max-degradation X]
-//! papctl tune  <machine> [--ranks N] [--nrep N] [--backend B] [--out FILE]
+//! papctl tune  <machine> [--ranks N] [--nrep N] [--backend B] [--out FILE] [--faults]
 //! papctl serve [--addr A] [--snapshot F] [--backend B] [--threads N] [--machine M]
 //!              [--ranks N] [--policy P] [--l1 N] [--refine-threads N] [--no-tune]
 //! papctl query <machine> <collective> <bytes> --addr HOST:PORT [--ranks N]
@@ -19,6 +19,9 @@
 //! papctl ft    <machine> [--ranks N] [--alg A] [--iters N]
 //! papctl trace <machine> [--ranks N]                       # FT pattern in file format
 //! papctl lint  [--json] [--ranks 8,12,32] [--eager BYTES]  # static registry sweep
+//! papctl lint --faults [--json] [--ranks 8,12,32] [--eager BYTES]
+//! papctl repair <collective> <alg> --fault crash:R [--ranks N] [--bytes B]
+//!               [--root R] [--eager BYTES] [--seg-bytes BYTES]
 //! ```
 //!
 //! All commands accept `--threads N` to bound the parallel fan-out
@@ -53,13 +56,18 @@ use pap::core::{
     render_fault_table, select, select_fault_robust, tune_machine, BenchMatrix, FaultMatrix,
     SelectionPolicy, TunePlan,
 };
-use pap::lint::{sweep_registry, SweepConfig};
+use pap::lint::{
+    certified_repair, crash_cone, sweep_faults, sweep_registry, CrashPoint, FaultSweepConfig,
+    LintConfig, RepairVerdict, SweepConfig,
+};
 use pap::microbench::{
     calibrate_avg_runtime, fault_sweep, measure, profile_with_faults, standard_grid, sweep,
     Backend, BenchConfig, SkewPolicy,
 };
-use pap::service::{Client, DefaultPolicy, QueryRequest, ServeConfig, Server, Snapshot};
-use pap::sim::{FaultSpec, MachineId, Platform};
+use pap::service::{
+    measure_fault_matrix, Client, DefaultPolicy, QueryRequest, ServeConfig, Server, Snapshot,
+};
+use pap::sim::{run_ref, FaultSpec, Job, MachineId, Platform, RankProgram, SimConfig, SimError};
 use pap::tracer::{ideal_observer, CollectiveTrace, TracerConfig};
 
 struct Args {
@@ -153,6 +161,7 @@ fn main() -> ExitCode {
         "ft" => cmd_ft(&args),
         "trace" => cmd_trace(&args),
         "lint" => cmd_lint(&args),
+        "repair" => cmd_repair(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -171,7 +180,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: papctl <machines|algorithms|pattern|bench|sweep|tune|profile|serve|query|ft|trace|lint|help> …
+const USAGE: &str = "usage: papctl <machines|algorithms|pattern|bench|sweep|tune|profile|serve|query|ft|trace|lint|repair|help> …
 global flags: --threads N   worker threads for sweep/tune fan-out
                             (default: PAP_THREADS env, else all cores; 1 = sequential);
                             for `serve`, also the connection-pool size
@@ -189,6 +198,10 @@ sweep flags: --json         print the benchmark matrix as JSON instead of the ta
                             fault-robust pick (default 1.0 = at most 2x slower)
 tune flags: --out FILE      also write the evidence snapshot (decisions + matrices)
                             that `papctl serve --snapshot FILE` warm-starts from
+            --faults        also measure the standard fault grid per cell and
+                            persist it in the snapshot (needs --out), so a
+                            warm-restarted `papd --policy fault_robust` serves
+                            without lazy fault re-measurement
 serve flags: --addr A       listen address (default 127.0.0.1:0 = ephemeral port)
              --snapshot F   warm-start L2 from FILE instead of tuning at startup
              --backend B    backend for startup tuning and cold cells (default model)
@@ -222,6 +235,16 @@ profile flags: --pattern S  arrival-pattern shape (default imbalanced-linear,
 lint flags: --json          machine-readable SweepSummary document
             --ranks A,B,C   rank counts to sweep (default 8,12,32)
             --eager BYTES   eager threshold for the protocol analysis (default 16384)
+            --faults        fault-cone mode: per-rank entry crash cones,
+                            blast-radius aggregates, and a certified repair of
+                            each case's worst crash (static; fails if any
+                            rewrite does not re-verify)
+repair flags: --fault crash:R  the rank to route around (required)
+            --ranks N       rank count (default 8)
+            --bytes B       message size (default 1024)
+            --root R        collective root (default 0)
+            --eager BYTES   eager threshold (default 16384)
+            --seg-bytes B   segment size for segmented algorithms
 run `papctl help` or see the module docs for argument details";
 
 fn machines() -> Result<(), String> {
@@ -393,6 +416,9 @@ fn cmd_fault_sweep(
 
 fn cmd_tune(args: &Args) -> Result<(), String> {
     let platform = platform_from(args, 0)?;
+    if args.has("faults") && !args.has("out") {
+        return Err("--faults enriches the snapshot; it needs --out FILE".to_string());
+    }
     let nrep = args.flag("nrep", 3usize);
     let cfg = bench_config(args, &platform, nrep)?;
     let plan = TunePlan::default();
@@ -412,12 +438,33 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
     }
     if args.has("out") {
         let path = args.opt("out").ok_or("--out needs a file path")?;
-        let snap = Snapshot::from_records(
+        let mut snap = Snapshot::from_records(
             platform.machine.name(),
             platform.ranks,
             &cfg.backend.to_string(),
             &records,
         );
+        if args.has("faults") {
+            // Degraded-mode evidence rides along in the snapshot so a
+            // warm-restarted `papd --policy fault_robust` never re-measures
+            // the fault grid (always sim-backed, whatever --backend said).
+            for cell in &mut snap.cells {
+                let fm = measure_fault_matrix(
+                    platform.machine,
+                    cell.entry.kind,
+                    cell.entry.ranks,
+                    cell.entry.bytes,
+                )?;
+                eprintln!(
+                    "fault grid {} @ {} B: v{} ({} scenarios)",
+                    cell.entry.kind,
+                    cell.entry.bytes,
+                    fm.grid_version,
+                    fm.scenarios.len()
+                );
+                cell.faults = Some(fm);
+            }
+        }
         snap.save(std::path::Path::new(path))?;
         eprintln!("wrote snapshot {path} ({} cells)", snap.cells.len());
     }
@@ -646,17 +693,29 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_lint(args: &Args) -> Result<(), String> {
-    let mut cfg = SweepConfig::default();
-    if let Some((_, Some(v))) = args.flags.iter().find(|(n, _)| n == "ranks") {
-        cfg.ranks = v
-            .split(',')
-            .map(|s| s.trim().parse::<usize>().map_err(|_| format!("bad rank count '{s}'")))
-            .collect::<Result<_, _>>()?;
-        if cfg.ranks.is_empty() {
-            return Err("--ranks needs at least one rank count".to_string());
+/// Parse a `--ranks A,B,C` list, or keep `default`.
+fn ranks_list(args: &Args, default: &[usize]) -> Result<Vec<usize>, String> {
+    match args.flags.iter().find(|(n, _)| n == "ranks") {
+        Some((_, Some(v))) => {
+            let ranks: Vec<usize> = v
+                .split(',')
+                .map(|s| s.trim().parse::<usize>().map_err(|_| format!("bad rank count '{s}'")))
+                .collect::<Result<_, _>>()?;
+            if ranks.is_empty() {
+                return Err("--ranks needs at least one rank count".to_string());
+            }
+            Ok(ranks)
         }
+        _ => Ok(default.to_vec()),
     }
+}
+
+fn cmd_lint(args: &Args) -> Result<(), String> {
+    if args.has("faults") {
+        return cmd_lint_faults(args);
+    }
+    let defaults = SweepConfig::default();
+    let mut cfg = SweepConfig { ranks: ranks_list(args, &defaults.ranks)?, ..defaults };
     let eager = args.flag("eager", cfg.eager_threshold);
     cfg.eager_threshold = eager;
     // Keep the size grid straddling whatever threshold was chosen.
@@ -683,6 +742,111 @@ fn cmd_lint(args: &Args) -> Result<(), String> {
         Ok(())
     } else {
         Err(format!("{} error-severity finding(s) across {} case(s)", summary.errors, summary.cases))
+    }
+}
+
+/// `papctl lint --faults`: the registry-wide fault-cone sweep — per-rank
+/// entry crash cones, blast-radius aggregates, and a certified repair of
+/// each case's worst crash. Purely static (no simulation); fails when any
+/// produced rewrite does not re-verify.
+fn cmd_lint_faults(args: &Args) -> Result<(), String> {
+    let defaults = FaultSweepConfig::default();
+    let mut cfg = FaultSweepConfig { ranks: ranks_list(args, &defaults.ranks)?, ..defaults };
+    let eager = args.flag("eager", cfg.eager_threshold);
+    cfg.eager_threshold = eager;
+    // Keep one size on each side of whatever threshold was chosen: the
+    // protocol split changes which sends block, which changes the cones.
+    cfg.sizes = vec![eager.div_ceil(16).max(1), eager.saturating_mul(8)];
+    let summary = sweep_faults(&cfg);
+    if args.flags.iter().any(|(n, _)| n == "json") {
+        println!("{}", serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?);
+    } else {
+        print!("{}", summary.render_table());
+        for row in &summary.case_rows {
+            if let RepairVerdict::CertFailed(reason) = &row.repair {
+                eprintln!(
+                    "CERT FAIL {} alg {} p={} bytes={} victim {}: {reason}",
+                    row.collective, row.alg, row.ranks, row.bytes, row.victim
+                );
+            }
+        }
+    }
+    if summary.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} repair(s) failed certification across {} case(s)",
+            summary.cert_failed, summary.cases
+        ))
+    }
+}
+
+/// `papctl repair <collective> <alg> --fault crash:R`: build the registry
+/// schedule, compute the static crash cone, produce the certified repair,
+/// and prove it completes in the engine under the very crash it routes
+/// around.
+fn cmd_repair(args: &Args) -> Result<(), String> {
+    let kind: CollectiveKind = args.pos(0)?.parse()?;
+    let alg: u8 = args.pos(1)?.parse().map_err(|_| "alg must be a number")?;
+    let spec = args
+        .opt("fault")
+        .ok_or("repair needs --fault crash:R (the rank to route around)")?;
+    let crashed: usize = spec
+        .strip_prefix("crash:")
+        .unwrap_or(spec)
+        .parse()
+        .map_err(|_| format!("bad fault spec '{spec}' (want crash:R)"))?;
+    let ranks = args.flag("ranks", 8usize);
+    let bytes = args.flag("bytes", 1024u64);
+    let root = args.flag("root", 0usize);
+    let eager = args.flag("eager", LintConfig::default().eager_threshold);
+    let seg = args.flag("seg-bytes", pap::collectives::DEFAULT_SEG_BYTES);
+
+    let cspec = CollSpec::new(kind, alg, bytes).with_root(root).with_seg_bytes(seg);
+    let built = pap::collectives::build(&cspec, ranks).map_err(|e| e.to_string())?;
+    let job = Job::new(built.rank_ops.into_iter().map(RankProgram::from_ops).collect());
+    let cfg = LintConfig { eager_threshold: eager, ..LintConfig::default() };
+
+    let cone = crash_cone(&job, &cfg, &[CrashPoint::on_entry(crashed)]);
+    println!(
+        "{kind} A{alg} {bytes} B, {ranks} ranks, root {root} — crash rank {crashed} on entry"
+    );
+    if cone.is_empty() {
+        println!("static cone: empty — every survivor already completes; nothing to repair");
+        return Ok(());
+    }
+    println!(
+        "static cone: {} survivor(s) starved: {:?}",
+        cone.starved.len(),
+        cone.starved_ranks()
+    );
+    let out = certified_repair(&job, &cfg, crashed).map_err(|e| e.to_string())?;
+    println!(
+        "repair: dropped {}, rewired {}, inserted {} op(s)",
+        out.dropped, out.rewired, out.inserted
+    );
+    for note in &out.notes {
+        println!("  {note}");
+    }
+    println!("certified: re-lint clean across all diagnostic classes, residual cone empty");
+
+    // Independent evidence beyond the static certificate: the repaired job
+    // must complete in the event-driven engine under the repaired crash.
+    let sim = SimConfig {
+        faults: FaultSpec::none().with_crash(crashed, 0.0),
+        ..SimConfig::default()
+    };
+    match run_ref(&Platform::simcluster(ranks), &out.job, &sim) {
+        Ok(run) => {
+            let finish = run.finish.iter().cloned().fold(0.0f64, f64::max);
+            println!("engine: repaired job completes under the crash (last rank at {:.3} ms)", finish * 1e3);
+            Ok(())
+        }
+        Err(SimError::Deadlock { blocked, .. }) => Err(format!(
+            "engine: repaired job still deadlocks — blocked ranks {:?}",
+            blocked.iter().map(|(r, _)| *r).collect::<Vec<_>>()
+        )),
+        Err(e) => Err(format!("engine: {e}")),
     }
 }
 

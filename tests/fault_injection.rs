@@ -87,12 +87,20 @@ fn fault_robust_policy_flips_selection_on_the_grid() {
         robust, status_quo,
         "the fault grid must flip the selection away from the clean winner"
     );
-    // The fault-robust pick honors its contract: bounded worst case, and it
-    // survives every scenario (no starved cell).
+    // The fault-robust pick honors its contract: bounded worst case, and
+    // it survives every scenario *some* algorithm survives (the v2 grid's
+    // entry crash starves every reduce schedule — nothing can survive
+    // losing a contributor, so that row discriminates nothing).
     let worst = m.worst_case_degradation().unwrap();
     let robust_col = m.alg_index(robust).unwrap();
     assert!(worst[robust_col] <= BOUND, "worst case {} > bound", worst[robust_col]);
-    assert_eq!(m.survived(robust).len(), m.scenarios.len() - 1);
+    let survivable = m
+        .scenarios
+        .iter()
+        .zip(&m.values)
+        .filter(|(s, row)| s.as_str() != "clean" && row.iter().any(Option::is_some))
+        .count();
+    assert_eq!(m.survived(robust).len(), survivable);
 }
 
 /// Differential quality floor: across the faulted cells, the fault-robust

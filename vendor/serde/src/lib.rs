@@ -112,6 +112,19 @@ pub fn field<T: Deserialize>(map: &[(String, Content)], name: &str) -> Result<T,
     }
 }
 
+/// Look up `name`, falling back to `Default::default()` when absent — the
+/// backing for `#[serde(default)]` fields (evidence persisted before the
+/// field existed deserializes to the default instead of erroring).
+pub fn field_or_default<T: Deserialize + Default>(
+    map: &[(String, Content)],
+    name: &str,
+) -> Result<T, Error> {
+    match map.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_content(v),
+        None => Ok(T::default()),
+    }
+}
+
 // -- primitive impls --------------------------------------------------------
 
 macro_rules! impl_uint {

@@ -5,21 +5,30 @@
 //! read `struct`/`enum`, collect field or variant names, and emit the impl
 //! as formatted source. Supports non-generic named-field structs and enums
 //! with unit, tuple and struct variants — the only shapes this workspace
-//! derives serde on.
+//! derives serde on. The single field attribute understood is
+//! `#[serde(default)]`: the field falls back to `Default::default()` when
+//! its key is missing (forward-compatible evidence formats).
 
-use proc_macro::{Delimiter, TokenStream, TokenTree};
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
 
 #[derive(Debug)]
 enum Item {
-    Struct { name: String, fields: Vec<String> },
+    Struct { name: String, fields: Vec<Field> },
     Enum { name: String, variants: Vec<Variant> },
+}
+
+/// A named field and whether it carries `#[serde(default)]`.
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: bool,
 }
 
 #[derive(Debug)]
 enum VariantShape {
     Unit,
     Tuple(usize),
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
 }
 
 #[derive(Debug)]
@@ -29,10 +38,35 @@ struct Variant {
 }
 
 /// Skip `#[...]` attribute groups (incl. doc comments) and visibility.
-fn skip_meta(tokens: &[TokenTree], mut i: usize) -> usize {
+fn skip_meta(tokens: &[TokenTree], i: usize) -> usize {
+    skip_meta_flagged(tokens, i).0
+}
+
+/// `#[serde(default)]` — a bracket group `serde(default)`.
+fn attr_is_serde_default(g: &Group) -> bool {
+    let ts: Vec<TokenTree> = g.stream().into_iter().collect();
+    matches!(ts.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde")
+        && ts.iter().any(|t| match t {
+            TokenTree::Group(inner) => inner
+                .stream()
+                .into_iter()
+                .any(|tt| matches!(tt, TokenTree::Ident(d) if d.to_string() == "default")),
+            _ => false,
+        })
+}
+
+/// Like [`skip_meta`], also reporting whether a `#[serde(default)]`
+/// attribute was among the skipped metadata.
+fn skip_meta_flagged(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut default = false;
     loop {
         match tokens.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if g.delimiter() == Delimiter::Bracket && attr_is_serde_default(g) {
+                        default = true;
+                    }
+                }
                 // '#' then the bracket group.
                 i += 2;
             }
@@ -45,22 +79,24 @@ fn skip_meta(tokens: &[TokenTree], mut i: usize) -> usize {
                     }
                 }
             }
-            _ => return i,
+            _ => return (i, default),
         }
     }
 }
 
-/// Parse the fields of a named-field body `{ a: T, b: U }` → field names.
-fn parse_named_fields(body: &TokenStream) -> Vec<String> {
+/// Parse the fields of a named-field body `{ a: T, b: U }` → field names
+/// plus their `#[serde(default)]` flag.
+fn parse_named_fields(body: &TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        i = skip_meta(&tokens, i);
+        let (j, default) = skip_meta_flagged(&tokens, i);
+        i = j;
         let Some(TokenTree::Ident(name)) = tokens.get(i) else {
             break;
         };
-        fields.push(name.to_string());
+        fields.push(Field { name: name.to_string(), default });
         i += 1;
         // Expect ':' then the type; skip until a comma at angle-depth 0.
         let mut depth = 0i32;
@@ -183,13 +219,16 @@ fn binders(n: usize) -> Vec<String> {
 }
 
 /// `#[derive(Serialize)]`.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let out = match parse_item(input) {
         Item::Struct { name, fields } => {
             let entries: Vec<String> = fields
                 .iter()
-                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f}))"))
+                .map(|f| {
+                    let f = &f.name;
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f}))")
+                })
                 .collect();
             format!(
                 "impl ::serde::Serialize for {name} {{\n\
@@ -225,7 +264,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                             )
                         }
                         VariantShape::Struct(fields) => {
-                            let items: Vec<String> = fields
+                            let names: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let items: Vec<String> = names
                                 .iter()
                                 .map(|f| {
                                     format!("(\"{f}\".to_string(), ::serde::Serialize::to_content({f}))")
@@ -234,7 +275,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                             format!(
                                 "{name}::{vn} {{ {} }} => ::serde::Content::Map(vec![(\"{vn}\".to_string(), \
                                  ::serde::Content::Map(vec![{}]))]),",
-                                fields.join(", "),
+                                names.join(", "),
                                 items.join(", ")
                             )
                         }
@@ -254,13 +295,19 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     out.parse().expect("serde_derive: generated impl must parse")
 }
 
+/// Field initializer: honor `#[serde(default)]` with the tolerant lookup.
+fn field_init(f: &Field) -> String {
+    let (name, helper) =
+        (&f.name, if f.default { "field_or_default" } else { "field" });
+    format!("{name}: ::serde::{helper}(map, \"{name}\")?")
+}
+
 /// `#[derive(Deserialize)]`.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let out = match parse_item(input) {
         Item::Struct { name, fields } => {
-            let inits: Vec<String> =
-                fields.iter().map(|f| format!("{f}: ::serde::field(map, \"{f}\")?")).collect();
+            let inits: Vec<String> = fields.iter().map(field_init).collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
                      fn from_content(c: &::serde::Content) -> Result<Self, ::serde::Error> {{\n\
@@ -306,10 +353,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                             ))
                         }
                         VariantShape::Struct(fields) => {
-                            let inits: Vec<String> = fields
-                                .iter()
-                                .map(|f| format!("{f}: ::serde::field(map, \"{f}\")?"))
-                                .collect();
+                            let inits: Vec<String> = fields.iter().map(field_init).collect();
                             Some(format!(
                                 "\"{vn}\" => {{\n\
                                      let map = v.as_map().ok_or_else(|| ::serde::Error::custom(\
