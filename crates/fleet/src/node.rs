@@ -1,0 +1,451 @@
+//! The event-driven serving frontend: one thread, one epoll instance, any
+//! number of concurrent connections.
+//!
+//! `papd`'s original frontend parks one pool thread per connection — fine
+//! for tens of clients, hopeless for a fleet shard holding open sockets
+//! from every rank of every job on the machine. This node replaces the
+//! thread-per-connection model with a single readiness loop: a
+//! nonblocking listener and per-connection read/write buffers multiplexed
+//! over [`pap_sysio::Epoll`] (level-triggered). Protocol semantics are
+//! untouched — complete frames are handed to the same
+//! [`pap_service::Dispatcher`] the threaded server uses, so both frontends
+//! answer byte-identically.
+//!
+//! Concurrency model: frame *dispatch* runs on the event-loop thread, so a
+//! shard serves one request at a time, ordered across all connections.
+//! Selection answers are microseconds (L1/L2) to a few milliseconds
+//! (cold model sweep) — event-loop-friendly work. Background sim
+//! refinements still run on their own bounded pool.
+//!
+//! Idle connections cost one slab slot and one kernel registration —
+//! there is no per-connection thread, stack, or timeout timer. The
+//! accept path raises `RLIMIT_NOFILE` (best effort) so "tens of
+//! thousands of clients" does not die on the default 1024 soft limit.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use pap_parallel::Pool;
+use pap_service::proto::{encode_frame, Reply, MAX_FRAME_BYTES};
+use pap_service::stats::Stats;
+use pap_service::store::TierStore;
+use pap_service::{build_store, Dispatcher, ServeConfig};
+use pap_sysio::{Epoll, Event, Interest};
+
+/// Poll interval of the event loop's `epoll_wait`: the latency bound on
+/// noticing an out-of-band shutdown request.
+const POLL: Duration = Duration::from_millis(100);
+
+/// Read chunk size per readable connection.
+const CHUNK: usize = 16 * 1024;
+
+/// `RLIMIT_NOFILE` the node asks for at start (best effort).
+const WANT_NOFILE: u64 = 32 * 1024;
+
+/// Token of the listener in the epoll set; connections get `slot + 1`.
+const LISTENER_TOKEN: u64 = 0;
+
+/// One connection's state in the slab.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet framed.
+    rbuf: Vec<u8>,
+    /// Encoded replies not yet (fully) written.
+    wbuf: Vec<u8>,
+    /// How much of `wbuf` is already written.
+    wpos: usize,
+    /// Close once `wbuf` is flushed (Bye sent, oversized frame, or peer
+    /// EOF).
+    close_after_flush: bool,
+    /// Peer sent EOF: stop reading, flush what we owe, then close.
+    read_closed: bool,
+    /// The interest currently registered with epoll.
+    interest: Interest,
+}
+
+impl Conn {
+    fn wants_write(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+}
+
+/// A running event-driven daemon. Protocol-compatible with
+/// [`pap_service::Server`]; serves from the same store/dispatcher stack.
+pub struct FleetNode {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: std::thread::JoinHandle<()>,
+    refine_pool: Option<Arc<Pool>>,
+    dispatcher: Arc<Dispatcher>,
+    stats: Arc<Stats>,
+    store: Arc<TierStore>,
+}
+
+impl FleetNode {
+    /// Bind, seed the store per the config (snapshot or startup tuning),
+    /// and start the event loop.
+    pub fn start(cfg: ServeConfig) -> Result<FleetNode, String> {
+        let (stats, store) = build_store(&cfg)?;
+        FleetNode::serve(&cfg, stats, store)
+    }
+
+    /// Start the event loop over an externally seeded store — the warm
+    /// replication path: the fleet spawner builds the store, drains a
+    /// peer's L2 into it, and only then exposes the shard.
+    pub fn serve(
+        cfg: &ServeConfig,
+        stats: Arc<Stats>,
+        store: Arc<TierStore>,
+    ) -> Result<FleetNode, String> {
+        // Best effort: a fleet shard holds one fd per client.
+        let _ = pap_sysio::raise_nofile_limit(WANT_NOFILE);
+
+        let listener =
+            TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
+        listener.set_nonblocking(true).map_err(|e| format!("nonblocking listener: {e}"))?;
+        let addr = listener.local_addr().map_err(|e| format!("local_addr: {e}"))?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let refine_pool = (cfg.refine_threads > 0)
+            .then(|| Arc::new(Pool::new(cfg.refine_threads, 4 * cfg.refine_threads)));
+        let dispatcher = Arc::new(Dispatcher::new(
+            Arc::clone(&shutdown),
+            Arc::clone(&stats),
+            Arc::clone(&store),
+            refine_pool.clone(),
+        ));
+
+        let thread = {
+            let dispatcher = Arc::clone(&dispatcher);
+            let stats = Arc::clone(&stats);
+            std::thread::spawn(move || {
+                if let Err(e) = event_loop(listener, &dispatcher, &stats) {
+                    // The loop only errors on a broken epoll fd; make the
+                    // node drain rather than serve nothing silently.
+                    eprintln!("fleet node event loop failed: {e}");
+                }
+            })
+        };
+
+        Ok(FleetNode { addr, shutdown, thread, refine_pool, dispatcher, stats, store })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The node's stats block.
+    pub fn stats(&self) -> &Arc<Stats> {
+        &self.stats
+    }
+
+    /// The node's tier store.
+    pub fn store(&self) -> &Arc<TierStore> {
+        &self.store
+    }
+
+    /// Whether a shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Request a graceful drain (equivalent to a `Shutdown` frame).
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Block until shutdown is requested, then drain: buffered frames are
+    /// served, pending replies flushed, and queued refinements dropped.
+    pub fn join(self) {
+        while !self.shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(POLL);
+        }
+        let _ = self.thread.join();
+        // Mirror Server::join: once the loop exited, ours is the only
+        // dispatcher (and hence refine-pool) holder.
+        drop(self.dispatcher);
+        if let Some(pool) = self.refine_pool {
+            if let Ok(pool) = Arc::try_unwrap(pool) {
+                let dropped = pool.abort();
+                for _ in 0..dropped {
+                    self.stats.refine_dropped();
+                }
+            }
+        }
+    }
+}
+
+/// The readiness loop: accept, read, frame, dispatch, write — all on one
+/// thread, no blocking call other than `epoll_wait` itself.
+fn event_loop(
+    listener: TcpListener,
+    dispatcher: &Dispatcher,
+    stats: &Stats,
+) -> std::io::Result<()> {
+    let epoll = Epoll::new()?;
+    epoll.add(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)?;
+
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut events: Vec<Event> = Vec::new();
+
+    loop {
+        epoll.wait(&mut events, 64, Some(POLL))?;
+        for ev in events.drain(..) {
+            if ev.token == LISTENER_TOKEN {
+                accept_ready(&listener, &epoll, &mut conns, &mut free, stats);
+                continue;
+            }
+            let slot = (ev.token - 1) as usize;
+            let Some(conn) = conns.get_mut(slot).and_then(|c| c.as_mut()) else {
+                continue; // stale event for a slot torn down this batch
+            };
+            let mut dead = ev.closed && !ev.readable;
+            if !dead && ev.readable && !conn.read_closed {
+                dead = read_ready(conn, dispatcher);
+            }
+            if !dead && (ev.writable || conn.wants_write()) {
+                dead = flush(conn);
+            }
+            if dead || (conn.close_after_flush && !conn.wants_write()) {
+                teardown(&epoll, &mut conns, &mut free, slot);
+            } else {
+                rearm(&epoll, conn, ev.token);
+            }
+        }
+        if dispatcher.shutdown_requested() {
+            drain_on_shutdown(&mut conns, dispatcher);
+            return Ok(());
+        }
+    }
+}
+
+/// Accept every pending connection (level-triggered: stop on WouldBlock).
+fn accept_ready(
+    listener: &TcpListener,
+    epoll: &Epoll,
+    conns: &mut Vec<Option<Conn>>,
+    free: &mut Vec<usize>,
+    stats: &Stats,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+            Err(_) => return,
+        };
+        if stream.set_nonblocking(true).is_err() {
+            continue;
+        }
+        let _ = stream.set_nodelay(true);
+        let slot = free.pop().unwrap_or_else(|| {
+            conns.push(None);
+            conns.len() - 1
+        });
+        let token = slot as u64 + 1;
+        if epoll.add(stream.as_raw_fd(), token, Interest::READ).is_err() {
+            free.push(slot);
+            continue; // fd table exhausted or similar; drop the connection
+        }
+        stats.connection();
+        conns[slot] = Some(Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            close_after_flush: false,
+            read_closed: false,
+            interest: Interest::READ,
+        });
+    }
+}
+
+/// Drain the socket, dispatch every complete frame, queue the replies.
+/// Returns true when the connection is dead (hard error).
+fn read_ready(conn: &mut Conn, dispatcher: &Dispatcher) -> bool {
+    let mut chunk = [0u8; CHUNK];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                // Peer EOF: no more requests. Flush what we owe, then close.
+                conn.read_closed = true;
+                conn.close_after_flush = true;
+                break;
+            }
+            Ok(n) => {
+                conn.rbuf.extend_from_slice(&chunk[..n]);
+                // Dispatch as we go so rbuf cannot grow unboundedly on a
+                // pipelining client.
+                if serve_buffered(conn, dispatcher) {
+                    break; // close pending; stop reading
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return true,
+        }
+    }
+    serve_buffered(conn, dispatcher);
+    false
+}
+
+/// Serve every complete frame in `rbuf`; returns true once the connection
+/// is marked for close (Bye or oversized frame).
+fn serve_buffered(conn: &mut Conn, dispatcher: &Dispatcher) -> bool {
+    if conn.close_after_flush {
+        // Already closing: frames after a Bye (or after an unfindable
+        // frame boundary) are undeliverable.
+        return true;
+    }
+    while let Some(pos) = conn.rbuf.iter().position(|&b| b == b'\n') {
+        let line: Vec<u8> = conn.rbuf.drain(..=pos).collect();
+        let reply = dispatcher.serve_frame(&line[..line.len() - 1]);
+        let bye = matches!(reply.reply, Reply::Bye);
+        conn.wbuf.extend_from_slice(encode_frame(&reply).as_bytes());
+        if bye {
+            conn.close_after_flush = true;
+            return true;
+        }
+    }
+    if conn.rbuf.len() > MAX_FRAME_BYTES {
+        // No newline within the frame budget: there is no way to find the
+        // next frame boundary. Reply, then close.
+        conn.wbuf.extend_from_slice(encode_frame(&dispatcher.oversized_frame_reply()).as_bytes());
+        conn.close_after_flush = true;
+        return true;
+    }
+    false
+}
+
+/// Write as much of `wbuf` as the socket accepts. Returns true when the
+/// connection is dead.
+fn flush(conn: &mut Conn) -> bool {
+    while conn.wpos < conn.wbuf.len() {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => return true,
+            Ok(n) => conn.wpos += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return false,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return true,
+        }
+    }
+    conn.wbuf.clear();
+    conn.wpos = 0;
+    false
+}
+
+/// Re-register the interest set to match the connection's pending work:
+/// write interest only while a reply is partially flushed.
+fn rearm(epoll: &Epoll, conn: &mut Conn, token: u64) {
+    let want = if conn.wants_write() { Interest::READ_WRITE } else { Interest::READ };
+    if want != conn.interest && epoll.modify(conn.stream.as_raw_fd(), token, want).is_ok() {
+        conn.interest = want;
+    }
+}
+
+fn teardown(epoll: &Epoll, conns: &mut [Option<Conn>], free: &mut Vec<usize>, slot: usize) {
+    if let Some(conn) = conns[slot].take() {
+        let _ = epoll.delete(conn.stream.as_raw_fd());
+        // Dropping the stream closes the fd.
+    }
+    free.push(slot);
+}
+
+/// The drain path: shutdown was requested, so serve every frame already
+/// buffered and flush every pending reply with (briefly) blocking writes —
+/// in-flight pipelined requests complete, new bytes are not read.
+fn drain_on_shutdown(conns: &mut [Option<Conn>], dispatcher: &Dispatcher) {
+    for conn in conns.iter_mut().filter_map(|c| c.as_mut()) {
+        serve_buffered(conn, dispatcher);
+        let _ = conn.stream.set_nonblocking(false);
+        let _ = conn.stream.set_write_timeout(Some(Duration::from_secs(2)));
+        if conn.wpos < conn.wbuf.len() {
+            let _ = conn.stream.write_all(&conn.wbuf[conn.wpos..]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pap_service::{Client, QueryRequest, Tier};
+
+    fn cold_config() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            tune_at_startup: false,
+            refine_threads: 0,
+            ..ServeConfig::default()
+        }
+    }
+
+    fn query(bytes: u64) -> QueryRequest {
+        QueryRequest {
+            machine: "simcluster".into(),
+            collective: pap_collectives::CollectiveKind::Reduce,
+            bytes,
+            ranks: 8,
+            arrivals: None,
+        }
+    }
+
+    #[test]
+    fn node_speaks_the_papd_protocol() {
+        let node = FleetNode::start(cold_config()).expect("node start");
+        let mut client = Client::connect(node.local_addr()).expect("connect");
+        client.ping().expect("ping");
+        let a = client.query(query(1024)).expect("query");
+        assert_eq!(a.tier, Tier::Computed);
+        let b = client.query(query(1024)).expect("query again");
+        assert_eq!(b.tier, Tier::L1);
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.endpoints.query, 2);
+        assert_eq!(stats.connections, 1);
+        // In-band shutdown drains the node.
+        client.shutdown().expect("bye");
+        node.join();
+    }
+
+    #[test]
+    fn node_survives_malformed_and_oversized_frames() {
+        let node = FleetNode::start(cold_config()).expect("node start");
+        let mut bad = Client::connect(node.local_addr()).expect("connect");
+        bad.send_raw("not json\n").expect("send");
+        let env = bad.recv().expect("error reply");
+        assert!(matches!(env.reply, Reply::Error(_)));
+        // Oversized frame: error reply, then the connection closes.
+        let mut oversize = Client::connect(node.local_addr()).expect("connect");
+        let big = "b".repeat(MAX_FRAME_BYTES + 1024);
+        let _ = oversize.send_raw(&big);
+        match oversize.recv() {
+            Ok(env) => assert!(matches!(env.reply, Reply::Error(_))),
+            Err(e) => assert!(e.contains("closed") || e.contains("recv"), "{e}"),
+        }
+        // The node is unharmed.
+        let mut fresh = Client::connect(node.local_addr()).expect("reconnect");
+        fresh.ping().expect("ping");
+        node.stop();
+        node.join();
+    }
+
+    #[test]
+    fn pipelined_batch_over_the_event_loop() {
+        let node = FleetNode::start(cold_config()).expect("node start");
+        let mut client = Client::connect(node.local_addr()).expect("connect");
+        let sizes: Vec<u64> = (0..64).map(|i| 8 << (i % 4)).collect();
+        let results = client
+            .query_batch(sizes.iter().map(|&b| query(b)).collect())
+            .expect("batch");
+        assert_eq!(results.len(), sizes.len());
+        for (r, &b) in results.iter().zip(&sizes) {
+            assert_eq!(r.as_ref().expect("valid query").bytes, b);
+        }
+        node.stop();
+        node.join();
+    }
+}

@@ -1,0 +1,105 @@
+//! Fleet-wide stats: aggregate per-shard [`StatsReport`]s into one view.
+//!
+//! The `StatsReport` wire shape is pinned, so aggregation lives here (in
+//! plain code over the existing fields) rather than as new protocol
+//! surface. Counters sum; latency histograms merge bucket-wise by bound;
+//! uptime reports the oldest shard. `snapshot_loaded` is an *all* (the
+//! fleet is warm only if every shard is), `tuned_at_startup` an *any*
+//! (somebody paid for the sweep).
+
+use std::collections::BTreeMap;
+
+use pap_service::proto::{LatencyBucket, StatsReport};
+
+/// Merge per-shard reports into one fleet-wide report. An empty slice
+/// yields an all-zero report.
+pub fn aggregate_stats(reports: &[StatsReport]) -> StatsReport {
+    let mut out = StatsReport {
+        endpoints: Default::default(),
+        tiers: Default::default(),
+        connections: 0,
+        frames: 0,
+        l2_cells: 0,
+        l1_entries: 0,
+        snapshot_loaded: !reports.is_empty(),
+        tuned_at_startup: false,
+        uptime_s: 0.0,
+        latency: Vec::new(),
+    };
+    let mut buckets: BTreeMap<u64, u64> = BTreeMap::new();
+    for r in reports {
+        out.endpoints.query += r.endpoints.query;
+        out.endpoints.stats += r.endpoints.stats;
+        out.endpoints.ping += r.endpoints.ping;
+        out.endpoints.shutdown += r.endpoints.shutdown;
+        out.endpoints.error += r.endpoints.error;
+        out.tiers.l1_hits += r.tiers.l1_hits;
+        out.tiers.l2_exact += r.tiers.l2_exact;
+        out.tiers.l2_near += r.tiers.l2_near;
+        out.tiers.miss += r.tiers.miss;
+        out.tiers.refines_scheduled += r.tiers.refines_scheduled;
+        out.tiers.refines_applied += r.tiers.refines_applied;
+        out.tiers.refines_dropped += r.tiers.refines_dropped;
+        out.connections += r.connections;
+        out.frames += r.frames;
+        out.l2_cells += r.l2_cells;
+        out.l1_entries += r.l1_entries;
+        out.snapshot_loaded &= r.snapshot_loaded;
+        out.tuned_at_startup |= r.tuned_at_startup;
+        out.uptime_s = out.uptime_s.max(r.uptime_s);
+        for b in &r.latency {
+            *buckets.entry(b.le_us).or_insert(0) += b.count;
+        }
+    }
+    out.latency = buckets.into_iter().map(|(le_us, count)| LatencyBucket { le_us, count }).collect();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pap_service::proto::{EndpointCounters, TierCounters};
+
+    fn report(query: u64, l2: u64, uptime: f64, warm: bool) -> StatsReport {
+        StatsReport {
+            endpoints: EndpointCounters { query, ..Default::default() },
+            tiers: TierCounters { l2_exact: l2, ..Default::default() },
+            connections: 1,
+            frames: query,
+            l2_cells: 3,
+            l1_entries: 2,
+            snapshot_loaded: warm,
+            tuned_at_startup: !warm,
+            uptime_s: uptime,
+            latency: vec![
+                LatencyBucket { le_us: 100, count: query },
+                LatencyBucket { le_us: u64::MAX, count: 0 },
+            ],
+        }
+    }
+
+    #[test]
+    fn counters_sum_and_histograms_merge_bucket_wise() {
+        let agg = aggregate_stats(&[report(10, 4, 1.0, true), report(5, 2, 7.5, true)]);
+        assert_eq!(agg.endpoints.query, 15);
+        assert_eq!(agg.tiers.l2_exact, 6);
+        assert_eq!(agg.connections, 2);
+        assert_eq!(agg.l2_cells, 6);
+        assert_eq!(agg.uptime_s, 7.5);
+        assert!(agg.snapshot_loaded);
+        assert_eq!(agg.latency, vec![
+            LatencyBucket { le_us: 100, count: 15 },
+            LatencyBucket { le_us: u64::MAX, count: 0 },
+        ]);
+        // The merged report renders through the pinned table unchanged.
+        assert!(agg.render_table().contains("<=100us: 15"));
+    }
+
+    #[test]
+    fn warmness_is_an_all_tuning_an_any() {
+        let agg = aggregate_stats(&[report(1, 1, 1.0, true), report(1, 1, 1.0, false)]);
+        assert!(!agg.snapshot_loaded, "one cold shard makes the fleet cold");
+        assert!(agg.tuned_at_startup);
+        assert!(!aggregate_stats(&[]).snapshot_loaded);
+    }
+}

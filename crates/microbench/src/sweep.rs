@@ -6,7 +6,7 @@ use pap_collectives::{CollSpec, CollectiveKind, TAG_SPAN};
 use pap_sim::Platform;
 use serde::{Deserialize, Serialize};
 
-use crate::harness::{measure, BenchConfig, BenchError};
+use crate::harness::{measure, Backend, BenchConfig, BenchError};
 use crate::stats::RunStats;
 
 /// How the maximum process skew of the generated patterns is chosen.
@@ -123,19 +123,82 @@ pub fn sweep(
 ) -> Result<SweepResult, BenchError> {
     let p = platform.ranks;
 
+    // The analytical backend is deterministic and independent of the
+    // measurement seed and tag base, so the per-algorithm NoDelay runs that
+    // calibrate the skew are the very measurements the grid's NoDelay
+    // column would redo. Run them once up front and reuse them for both.
+    // The simulator path keeps separate runs: its noise draws from the
+    // per-cell derived seed, so calibration and grid cells differ there.
+    let model_nodelay: Option<Vec<RunStats>> = if cfg.backend == Backend::Model
+        && matches!(policy, SkewPolicy::FactorOfAvg(_) | SkewPolicy::PerAlgorithm)
+    {
+        let nodelay = generate(Shape::NoDelay, p, 0.0, 0);
+        let runs = pap_parallel::par_map(algs, |i, &alg| {
+            let spec = CollSpec::new(kind, alg, bytes).with_tag_base(i as u64 * 64 * TAG_SPAN);
+            measure(platform, &spec, &nodelay, cfg)
+        });
+        Some(runs.into_iter().collect::<Result<Vec<_>, _>>()?)
+    } else {
+        None
+    };
+
     // Calibrate skews.
     let fixed_skew = match policy {
         SkewPolicy::Fixed(s) => Some(s),
-        SkewPolicy::FactorOfAvg(f) => Some(f * calibrate_avg_runtime(platform, kind, algs, bytes, cfg)?),
+        SkewPolicy::FactorOfAvg(f) => {
+            let avg = match &model_nodelay {
+                Some(nd) => {
+                    let mut sum = 0.0;
+                    for s in nd {
+                        sum += s.mean_last();
+                    }
+                    sum / algs.len() as f64
+                }
+                None => calibrate_avg_runtime(platform, kind, algs, bytes, cfg)?,
+            };
+            Some(f * avg)
+        }
         SkewPolicy::PerAlgorithm => None,
     };
     let per_alg_skew: Vec<f64> = match policy {
-        SkewPolicy::PerAlgorithm => {
-            let runs = pap_parallel::par_map(algs, |i, &a| no_delay_runtime(platform, kind, a, bytes, cfg, i));
-            runs.into_iter().collect::<Result<_, _>>()?
-        }
+        SkewPolicy::PerAlgorithm => match &model_nodelay {
+            Some(nd) => nd.iter().map(|s| s.mean_last()).collect(),
+            None => {
+                let runs =
+                    pap_parallel::par_map(algs, |i, &a| no_delay_runtime(platform, kind, a, bytes, cfg, i));
+                runs.into_iter().collect::<Result<_, _>>()?
+            }
+        },
         _ => vec![fixed_skew.unwrap_or(0.0); algs.len()],
     };
+
+    // Generate each distinct skew's shape patterns once and share them
+    // across the grid: under Fixed/FactorOfAvg every algorithm faces the
+    // same skew, so per-cell generation would repeat identical O(p) work
+    // once per algorithm. Same (shape, p, skew, seed) arguments as the
+    // per-cell calls, so the pattern values are unchanged.
+    let mut row_skew_bits: Vec<u64> = Vec::new();
+    let mut rows: Vec<Vec<ArrivalPattern>> = Vec::new();
+    let row_of: Vec<usize> = per_alg_skew
+        .iter()
+        .map(|&skew| {
+            let bits = skew.to_bits();
+            if let Some(i) = row_skew_bits.iter().position(|&b| b == bits) {
+                return i;
+            }
+            row_skew_bits.push(bits);
+            rows.push(
+                shapes
+                    .iter()
+                    .map(|&shape| {
+                        let s = if shape == Shape::NoDelay { 0.0 } else { skew };
+                        generate(shape, p, s, cfg.seed)
+                    })
+                    .collect(),
+            );
+            rows.len() - 1
+        })
+        .collect();
 
     let mut pattern_names: Vec<String> = shapes.iter().map(|s| s.name().to_string()).collect();
     pattern_names.extend(extra_patterns.iter().map(|e| e.name.clone()));
@@ -147,14 +210,14 @@ pub fn sweep(
     // byte-identical to the sequential loop. Patterns are still generated
     // from the *base* seed: every algorithm must face the same pattern.
     enum Pat<'p> {
-        Shape(Shape),
+        Shape(usize),
         Extra(&'p ArrivalPattern),
     }
     let mut grid: Vec<(usize, u8, u64, Pat<'_>)> = Vec::new();
     for (ai, &alg) in algs.iter().enumerate() {
         let mut cell_id = 0u64;
-        for &shape in shapes {
-            grid.push((ai, alg, cell_id, Pat::Shape(shape)));
+        for si in 0..shapes.len() {
+            grid.push((ai, alg, cell_id, Pat::Shape(si)));
             cell_id += 1;
         }
         for extra in extra_patterns {
@@ -164,17 +227,27 @@ pub fn sweep(
     }
 
     let runs = pap_parallel::par_map(&grid, |gi, &(ai, alg, cell_id, ref pat)| {
-        let skew = per_alg_skew[ai];
-        let spec =
-            CollSpec::new(kind, alg, bytes).with_tag_base((ai as u64 * 64 + cell_id) * 8 * TAG_SPAN);
-        let run_cfg = cfg.clone().with_seed(derive_seed(cfg.seed, gi as u64));
         let (name, pattern) = match pat {
-            Pat::Shape(shape) => {
-                let skew = if *shape == Shape::NoDelay { 0.0 } else { skew };
-                (shape.name().to_string(), std::borrow::Cow::Owned(generate(*shape, p, skew, cfg.seed)))
+            Pat::Shape(si) => {
+                let shape = shapes[*si];
+                if shape == Shape::NoDelay {
+                    if let Some(nd) = &model_nodelay {
+                        // Calibration already ran this exact measurement.
+                        return Ok(SweepCell {
+                            alg,
+                            pattern: shape.name().to_string(),
+                            skew: 0.0,
+                            stats: nd[ai].clone(),
+                        });
+                    }
+                }
+                (shape.name().to_string(), std::borrow::Cow::Borrowed(&rows[row_of[ai]][*si]))
             }
             Pat::Extra(extra) => (extra.name.clone(), std::borrow::Cow::Borrowed(*extra)),
         };
+        let spec =
+            CollSpec::new(kind, alg, bytes).with_tag_base((ai as u64 * 64 + cell_id) * 8 * TAG_SPAN);
+        let run_cfg = cfg.clone().with_seed(derive_seed(cfg.seed, gi as u64));
         let stats = measure(platform, &spec, &pattern, &run_cfg)?;
         // Stream completed spans out of the bounded rings between cells; a
         // long sweep would otherwise overflow them before a final drain.

@@ -30,10 +30,14 @@ use pap_collectives::{topo, CollSpec};
 use pap_sim::Platform;
 
 mod net;
+mod plan;
 mod rounds;
 mod trees;
 
+use std::rc::Rc;
+
 use net::Net;
+use plan::{tree_plan, TreeId, TreePlan};
 
 /// A model prediction for one (platform, collective, pattern) cell.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -134,18 +138,15 @@ fn seg_plan(bytes: u64, seg_bytes: u64, segmented: bool) -> Vec<u64> {
     }
 }
 
-fn vtree(p: usize, f: impl Fn(usize) -> topo::TreeNode) -> Vec<topo::TreeNode> {
-    (0..p).map(f).collect()
-}
-
-fn tree_for(kind_alg: u8, p: usize) -> Option<(Vec<topo::TreeNode>, bool)> {
-    // (tree over vranks, segmented) for the shared reduce/bcast tree IDs.
+fn tree_for(kind_alg: u8, p: usize) -> Option<(Rc<TreePlan>, bool)> {
+    // (cached tree plan over vranks, segmented) for the shared reduce/bcast
+    // tree IDs.
     match kind_alg {
-        1 => Some((vtree(p, |v| topo::flat(v, p)), false)),
-        2 => Some((vtree(p, |v| topo::chain(v, p, 4)), true)),
-        3 => Some((vtree(p, |v| topo::pipeline(v, p)), true)),
-        4 => Some((vtree(p, |v| topo::binary(v, p)), true)),
-        5 => Some((vtree(p, |v| topo::binomial(v, p)), true)),
+        1 => Some((tree_plan(TreeId::Flat, p), false)),
+        2 => Some((tree_plan(TreeId::Chain4, p), true)),
+        3 => Some((tree_plan(TreeId::Pipeline, p), true)),
+        4 => Some((tree_plan(TreeId::Binary, p), true)),
+        5 => Some((tree_plan(TreeId::Binomial, p), true)),
         _ => None,
     }
 }
@@ -161,32 +162,34 @@ fn dispatch(
     let exits = match spec.kind {
         CollectiveKind::Reduce => match spec.alg {
             1..=5 => {
-                let (tree, seg) = tree_for(spec.alg, p).ok_or_else(unknown)?;
+                let (plan, seg) = tree_for(spec.alg, p).ok_or_else(unknown)?;
                 // Reduce ID 5 (binomial) is unsegmented in the builder.
                 let seg = seg && spec.alg != 5;
                 let segs = seg_plan(spec.bytes, spec.seg_bytes, seg);
-                trees::tree_reduce(pf, net, spec.root, &segs, &tree, starts).finish()
+                trees::tree_reduce(pf, net, spec.root, &segs, &plan, starts).finish()
             }
-            6 => trees::in_order_reduce(pf, net, spec.root, spec.bytes, starts),
+            6 => {
+                let plan = tree_plan(TreeId::InOrderBinary, p);
+                trees::in_order_reduce(pf, net, spec.root, spec.bytes, &plan, starts)
+            }
             7 => rounds::reduce_rabenseifner(pf, net, spec.root, spec.bytes, starts),
             _ => return Err(unknown()),
         },
         CollectiveKind::Bcast => {
-            let (tree, seg) = tree_for(spec.alg, p).ok_or_else(unknown)?;
+            let (plan, seg) = tree_for(spec.alg, p).ok_or_else(unknown)?;
             let segs = seg_plan(spec.bytes, spec.seg_bytes, seg);
-            trees::tree_bcast(pf, net, spec.root, &segs, &tree, starts).finish()
+            trees::tree_bcast(pf, net, spec.root, &segs, &plan, starts).finish()
         }
         CollectiveKind::Allreduce => match spec.alg {
             1 | 2 => {
                 // Reduce to root, then broadcast from it (IDs 1 and 2 use
                 // the flat/flat and binomial/binomial substrates).
-                let (rtree, _) = tree_for(if spec.alg == 1 { 1 } else { 5 }, p).unwrap();
+                let (plan, bseg) = tree_for(if spec.alg == 1 { 1 } else { 5 }, p).unwrap();
                 let rsegs = vec![spec.bytes];
                 let mid =
-                    trees::tree_reduce(pf, net, spec.root, &rsegs, &rtree, starts).finish();
-                let (btree, bseg) = tree_for(if spec.alg == 1 { 1 } else { 5 }, p).unwrap();
+                    trees::tree_reduce(pf, net, spec.root, &rsegs, &plan, starts).finish();
                 let bsegs = seg_plan(spec.bytes, spec.seg_bytes, bseg);
-                trees::tree_bcast(pf, net, spec.root, &bsegs, &btree, &mid).finish()
+                trees::tree_bcast(pf, net, spec.root, &bsegs, &plan, &mid).finish()
             }
             3 => rounds::allreduce_recdbl(pf, net, spec.bytes, starts),
             4 => rounds::allreduce_ring(pf, net, spec.bytes, 1, starts),
@@ -212,13 +215,13 @@ fn dispatch(
         CollectiveKind::Allgather => match spec.alg {
             1 => {
                 let m = spec.bytes;
-                let mid = trees::binomial_gather(pf, net, spec.root, m, starts).finish();
-                let btree = vtree(p, |v| topo::binomial(v, p));
+                let plan = tree_plan(TreeId::Binomial, p);
+                let mid = trees::binomial_gather(pf, net, spec.root, m, &plan, starts).finish();
                 // Per-block size clamped to ≥ 1 byte, mirroring the
                 // builder's propagate-mode grid (p segments even at m = 0).
                 let block = m.max(1);
                 let bsegs = topo::seg_sizes(block * p as u64, block);
-                trees::tree_bcast(pf, net, spec.root, &bsegs, &btree, &mid).finish()
+                trees::tree_bcast(pf, net, spec.root, &bsegs, &plan, &mid).finish()
             }
             2 => rounds::allgather_bruck(pf, net, spec.bytes, starts),
             3 => {
@@ -240,12 +243,18 @@ fn dispatch(
         },
         CollectiveKind::Gather => match spec.alg {
             1 => trees::linear_gather(pf, net, spec.root, spec.bytes, starts),
-            2 => trees::binomial_gather(pf, net, spec.root, spec.bytes, starts).finish(),
+            2 => {
+                let plan = tree_plan(TreeId::Binomial, p);
+                trees::binomial_gather(pf, net, spec.root, spec.bytes, &plan, starts).finish()
+            }
             _ => return Err(unknown()),
         },
         CollectiveKind::Scatter => match spec.alg {
             1 => trees::linear_scatter(pf, net, spec.root, spec.bytes, starts),
-            2 => trees::binomial_scatter(pf, net, spec.root, spec.bytes, starts),
+            2 => {
+                let plan = tree_plan(TreeId::Binomial, p);
+                trees::binomial_scatter(pf, net, spec.root, spec.bytes, &plan, starts)
+            }
             _ => return Err(unknown()),
         },
     };

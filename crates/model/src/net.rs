@@ -10,7 +10,19 @@
 //! order (receivers after senders within each dependency chain), replaying
 //! that arithmetic yields the same timestamps the event queue would produce.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use pap_sim::Platform;
+
+thread_local! {
+    /// Rank → node table cache. The table is a pure function of
+    /// `(ranks, cores_per_node)`, and a sweep builds one [`Net`] per grid
+    /// cell against the same platform — caching it per thread replaces the
+    /// `p` integer divisions per cell with a key compare.
+    static NODE_TABLE: RefCell<(usize, usize, Rc<[u32]>)> =
+        RefCell::new((0, 0, Rc::from(&[][..])));
+}
 
 /// Timing of one resolved point-to-point message.
 #[derive(Debug, Clone, Copy)]
@@ -25,6 +37,10 @@ pub(crate) struct MsgOut {
 /// Shared network state: per-node NIC egress/ingress serialization clocks.
 pub(crate) struct Net<'p> {
     pf: &'p Platform,
+    /// Rank → node, precomputed: `node_of` divides, and the round-based
+    /// models resolve O(p log p)–O(p²) messages per prediction, so the
+    /// per-message integer divisions would dominate the arithmetic.
+    node: Rc<[u32]>,
     egress_free: Vec<f64>,
     ingress_free: Vec<f64>,
 }
@@ -32,7 +48,15 @@ pub(crate) struct Net<'p> {
 impl<'p> Net<'p> {
     pub fn new(pf: &'p Platform) -> Self {
         let nodes = pf.occupied_nodes();
-        Net { pf, egress_free: vec![0.0; nodes], ingress_free: vec![0.0; nodes] }
+        let node = NODE_TABLE.with(|c| {
+            let mut c = c.borrow_mut();
+            if c.0 != pf.ranks || c.1 != pf.cores_per_node {
+                let t: Vec<u32> = (0..pf.ranks).map(|r| pf.node_of(r) as u32).collect();
+                *c = (pf.ranks, pf.cores_per_node, Rc::from(t));
+            }
+            Rc::clone(&c.2)
+        });
+        Net { pf, node, egress_free: vec![0.0; nodes], ingress_free: vec![0.0; nodes] }
     }
 
     /// Resolve one message `src → dst`.
@@ -48,18 +72,20 @@ impl<'p> Net<'p> {
     /// `max(ts + L, tr) + L`. Inter-node messages serialize on the source
     /// egress and destination ingress NIC clocks when the platform enables
     /// NIC serialization.
+    #[inline]
     pub fn msg(&mut self, src: usize, dst: usize, bytes: u64, pre: f64, tr: f64) -> MsgOut {
         let pf = self.pf;
+        let eager = pf.is_eager(bytes);
         let ts = pre + pf.send_overhead;
-        let link = pf.link(src, dst);
+        let sn = self.node[src] as usize;
+        let dn = self.node[dst] as usize;
+        let intra = sn == dn;
+        let link = if intra { &pf.intra } else { &pf.inter };
         let lat = link.latency;
         let wire = bytes as f64 / link.bandwidth;
-        let inject = if pf.is_eager(bytes) { ts } else { (ts + lat).max(tr) + lat };
+        let inject = if eager { ts } else { (ts + lat).max(tr) + lat };
 
-        let intra = pf.same_node(src, dst);
         let (delivered, egress_done) = if !intra && pf.nic_serialization {
-            let sn = pf.node_of(src);
-            let dn = pf.node_of(dst);
             let start = inject.max(self.egress_free[sn]);
             self.egress_free[sn] = start + wire;
             let arrival = start + lat + wire;
@@ -71,7 +97,7 @@ impl<'p> Net<'p> {
         };
 
         let recv_done = delivered.max(tr) + pf.recv_overhead;
-        let send_done = if pf.is_eager(bytes) { ts } else { egress_done };
+        let send_done = if eager { ts } else { egress_done };
         MsgOut { send_done, recv_done }
     }
 }

@@ -6,99 +6,75 @@
 //! before parents for reductions, parents before children for
 //! distributions) and replays the builder's per-rank op sequence through
 //! [`Net::msg`]. Non-blocking send completions that a rank only waits on at
-//! the end of its schedule are accumulated in `pending` and folded into the
-//! exit time by [`RankEnds::finish`].
+//! the end of its schedule are folded into a running per-rank maximum in
+//! `pending` and joined with the exit time by [`RankEnds::finish`]. Tree
+//! topologies and replay orders come pre-built from [`crate::plan`]; the
+//! per-eval state here is a handful of flat buffers.
 
-use pap_collectives::topo::{self, TreeNode};
 use pap_sim::Platform;
 
 use crate::net::Net;
+use crate::plan::TreePlan;
 
 /// Per-rank clocks at the end of a modeled phase: `local` is the clock after
-/// the last op issued, `pending` holds completion times of outstanding send
-/// requests the rank still waits on (waitall / trailing blocking send).
+/// the last op issued, `pending[r]` the latest completion among rank `r`'s
+/// outstanding send requests (waitall / trailing blocking send), or `−∞` if
+/// none.
 pub(crate) struct RankEnds {
     pub local: Vec<f64>,
-    pub pending: Vec<Vec<f64>>,
+    pub pending: Vec<f64>,
 }
 
 impl RankEnds {
+    fn new(starts: &[f64]) -> RankEnds {
+        RankEnds { local: starts.to_vec(), pending: vec![f64::NEG_INFINITY; starts.len()] }
+    }
+
     /// Exit time per rank: local clock joined with all pending completions.
     pub fn finish(&self) -> Vec<f64> {
-        self.local
-            .iter()
-            .zip(&self.pending)
-            .map(|(&l, pend)| pend.iter().fold(l, |a, &b| a.max(b)))
-            .collect()
+        self.local.iter().zip(&self.pending).map(|(&l, &pend)| l.max(pend)).collect()
     }
-}
-
-fn depths(tree: &[TreeNode]) -> Vec<usize> {
-    (0..tree.len())
-        .map(|mut v| {
-            let mut d = 0;
-            while let Some(pv) = tree[v].parent {
-                v = pv;
-                d += 1;
-            }
-            d
-        })
-        .collect()
-}
-
-/// Ranks ordered so that dependencies resolve: deepest-first for gather-like
-/// phases, shallowest-first for scatter-like phases. Stable sort keeps the
-/// order deterministic.
-fn order_by_depth(tree: &[TreeNode], deepest_first: bool) -> Vec<usize> {
-    let d = depths(tree);
-    let mut idx: Vec<usize> = (0..tree.len()).collect();
-    if deepest_first {
-        idx.sort_by_key(|&v| std::cmp::Reverse(d[v]));
-    } else {
-        idx.sort_by_key(|&v| d[v]);
-    }
-    idx
 }
 
 /// Segmented tree reduction (Reduce IDs 1–5 and the reduce halves of
-/// Allreduce 1–2). `tree` is indexed by virtual rank; `starts` by actual
-/// rank. Per segment, a rank receives each child's partial (blocking recv +
-/// local reduce), then forwards its own partial to the parent with a
+/// Allreduce 1–2). The plan's tree is indexed by virtual rank; `starts` by
+/// actual rank. Per segment, a rank receives each child's partial (blocking
+/// recv + local reduce), then forwards its own partial to the parent with a
 /// non-blocking send; all sends are waited at the end.
 pub(crate) fn tree_reduce(
     pf: &Platform,
     net: &mut Net,
     root: usize,
     segs: &[u64],
-    tree: &[TreeNode],
+    plan: &TreePlan,
     starts: &[f64],
 ) -> RankEnds {
-    let p = tree.len();
+    let p = plan.nodes.len();
     let nseg = segs.len();
     let gamma = pf.reduce_cost_per_byte;
-    let mut local = starts.to_vec();
-    let mut pending: Vec<Vec<f64>> = vec![Vec::new(); p];
-    // pres[v][s]: vrank v's clock just before its isend of segment s.
-    let mut pres = vec![vec![f64::NAN; nseg]; p];
-    for &v in &order_by_depth(tree, true) {
-        let r = topo::actual(v, root, p);
-        let mut t = local[r];
+    let mut ends = RankEnds::new(starts);
+    // pres[v * nseg + s]: vrank v's clock just before its isend of segment s.
+    let mut pres = vec![f64::NAN; p * nseg];
+    for &v in &plan.up {
+        let node = &plan.nodes[v];
+        let r = actual(v, root, p);
+        let mut t = ends.local[r];
         for (s, &sb) in segs.iter().enumerate() {
-            for &cv in &tree[v].children {
-                let c = topo::actual(cv, root, p);
+            for &cv in &node.children {
+                let c = actual(cv, root, p);
                 t += pf.recv_overhead;
-                let out = net.msg(c, r, sb, pres[cv][s], t);
-                pending[c].push(out.send_done);
+                let out = net.msg(c, r, sb, pres[cv * nseg + s], t);
+                ends.pending[c] = ends.pending[c].max(out.send_done);
                 t = out.recv_done + sb as f64 * gamma;
             }
-            if tree[v].parent.is_some() {
-                pres[v][s] = t;
+            if node.parent.is_some() {
+                pres[v * nseg + s] = t;
                 t += pf.send_overhead;
             }
         }
-        local[r] = t;
+        ends.local[r] = t;
     }
-    RankEnds { local, pending }
+    ends
 }
 
 /// Segmented tree broadcast (Bcast IDs 1–5, including propagate mode — the
@@ -109,70 +85,70 @@ pub(crate) fn tree_bcast(
     net: &mut Net,
     root: usize,
     segs: &[u64],
-    tree: &[TreeNode],
+    plan: &TreePlan,
     starts: &[f64],
 ) -> RankEnds {
-    let p = tree.len();
+    let p = plan.nodes.len();
     let nseg = segs.len();
-    let mut local = starts.to_vec();
-    let mut pending: Vec<Vec<f64>> = vec![Vec::new(); p];
-    // pres[cv][s]: the parent's clock just before its isend of segment s to
-    // child vrank cv.
-    let mut pres = vec![vec![f64::NAN; nseg]; p];
-    for &v in &order_by_depth(tree, false) {
-        let r = topo::actual(v, root, p);
-        let mut t = local[r];
+    let mut ends = RankEnds::new(starts);
+    // pres[cv * nseg + s]: the parent's clock just before its isend of
+    // segment s to child vrank cv.
+    let mut pres = vec![f64::NAN; p * nseg];
+    for &v in &plan.down {
+        let node = &plan.nodes[v];
+        let r = actual(v, root, p);
+        let mut t = ends.local[r];
         for (s, &sb) in segs.iter().enumerate() {
-            if let Some(pv) = tree[v].parent {
-                let pr = topo::actual(pv, root, p);
+            if let Some(pv) = node.parent {
+                let pr = actual(pv, root, p);
                 t += pf.recv_overhead;
-                let out = net.msg(pr, r, sb, pres[v][s], t);
-                pending[pr].push(out.send_done);
+                let out = net.msg(pr, r, sb, pres[v * nseg + s], t);
+                ends.pending[pr] = ends.pending[pr].max(out.send_done);
                 t = out.recv_done;
             }
-            for &cv in &tree[v].children {
-                pres[cv][s] = t;
+            for &cv in &node.children {
+                pres[cv * nseg + s] = t;
                 t += pf.send_overhead;
             }
         }
-        local[r] = t;
+        ends.local[r] = t;
     }
-    RankEnds { local, pending }
+    ends
 }
 
-/// Reduce ID 6: in-order binary tree over actual ranks rooted at `p − 1`,
-/// whole-vector blocking sends, plus the final forward to `spec.root` when
-/// it is not `p − 1`.
+/// Reduce ID 6: in-order binary tree over actual ranks rooted at `p − 1`
+/// (the plan's tree is already over actual ranks), whole-vector blocking
+/// sends, plus the final forward to `spec.root` when it is not `p − 1`.
 pub(crate) fn in_order_reduce(
     pf: &Platform,
     net: &mut Net,
     root: usize,
     bytes: u64,
+    plan: &TreePlan,
     starts: &[f64],
 ) -> Vec<f64> {
     let p = starts.len();
-    let tree: Vec<TreeNode> = (0..p).map(|r| topo::in_order_binary(r, p)).collect();
     let gamma = pf.reduce_cost_per_byte;
-    let mut local = starts.to_vec();
-    let mut pending: Vec<Vec<f64>> = vec![Vec::new(); p];
+    let mut ends = RankEnds::new(starts);
     let mut pres = vec![f64::NAN; p];
-    for &r in &order_by_depth(&tree, true) {
-        let mut t = local[r];
-        for &c in &tree[r].children {
+    for &r in &plan.up {
+        let node = &plan.nodes[r];
+        let mut t = ends.local[r];
+        for &c in &node.children {
             t += pf.recv_overhead;
             let out = net.msg(c, r, bytes, pres[c], t);
-            pending[c].push(out.send_done);
+            ends.pending[c] = ends.pending[c].max(out.send_done);
             t = out.recv_done + bytes as f64 * gamma;
         }
-        if tree[r].parent.is_some() {
+        if node.parent.is_some() {
             // Blocking send to the parent: it is this rank's last op, so the
             // true completion is folded in via `pending`.
             pres[r] = t;
             t += pf.send_overhead;
         }
-        local[r] = t;
+        ends.local[r] = t;
     }
-    let mut exits = RankEnds { local, pending }.finish();
+    let mut exits = ends.finish();
     if root != p - 1 && p > 1 {
         // Rank p−1 forwards the result to the actual root.
         let tr = exits[root] + pf.recv_overhead;
@@ -181,6 +157,18 @@ pub(crate) fn in_order_reduce(
         exits[root] = out.recv_done;
     }
     exits
+}
+
+/// Virtual-to-actual rank rotation (mirrors `topo::actual`, local so the
+/// per-message hot loop stays branch-cheap).
+#[inline(always)]
+fn actual(v: usize, root: usize, p: usize) -> usize {
+    let a = v + root;
+    if a >= p {
+        a - p
+    } else {
+        a
+    }
 }
 
 /// Size of the binomial subtree rooted at virtual rank `v` (mirrors the
@@ -218,30 +206,30 @@ pub(crate) fn binomial_gather(
     net: &mut Net,
     root: usize,
     m: u64,
+    plan: &TreePlan,
     starts: &[f64],
 ) -> RankEnds {
     let p = starts.len();
-    let tree: Vec<TreeNode> = (0..p).map(|v| topo::binomial(v, p)).collect();
-    let mut local = starts.to_vec();
-    let mut pending: Vec<Vec<f64>> = vec![Vec::new(); p];
+    let mut ends = RankEnds::new(starts);
     let mut pres = vec![f64::NAN; p];
-    for &v in &order_by_depth(&tree, true) {
-        let r = topo::actual(v, root, p);
-        let mut t = local[r];
-        for &cv in tree[v].children.iter().rev() {
-            let c = topo::actual(cv, root, p);
+    for &v in &plan.up {
+        let node = &plan.nodes[v];
+        let r = actual(v, root, p);
+        let mut t = ends.local[r];
+        for &cv in node.children.iter().rev() {
+            let c = actual(cv, root, p);
             t += pf.recv_overhead;
             let out = net.msg(c, r, subtree_size(cv, p) * m, pres[cv], t);
-            pending[c].push(out.send_done);
+            ends.pending[c] = ends.pending[c].max(out.send_done);
             t = out.recv_done;
         }
-        if tree[v].parent.is_some() {
+        if node.parent.is_some() {
             pres[v] = t;
             t += pf.send_overhead;
         }
-        local[r] = t;
+        ends.local[r] = t;
     }
-    RankEnds { local, pending }
+    ends
 }
 
 /// Scatter ID 1: the root blocking-sends each rank's block in rank order;
@@ -270,19 +258,20 @@ pub(crate) fn binomial_scatter(
     net: &mut Net,
     root: usize,
     m: u64,
+    plan: &TreePlan,
     starts: &[f64],
 ) -> Vec<f64> {
     let p = starts.len();
-    let tree: Vec<TreeNode> = (0..p).map(|v| topo::binomial(v, p)).collect();
     // begin[r]: recv completion (root: arrival) — set by the parent before
     // rank r is processed.
     let mut begin = starts.to_vec();
     let mut exits = starts.to_vec();
-    for &v in &order_by_depth(&tree, false) {
-        let r = topo::actual(v, root, p);
+    for &v in &plan.down {
+        let node = &plan.nodes[v];
+        let r = actual(v, root, p);
         let mut t = begin[r];
-        for &cv in tree[v].children.iter().rev() {
-            let c = topo::actual(cv, root, p);
+        for &cv in node.children.iter().rev() {
+            let c = actual(cv, root, p);
             let tr = starts[c] + pf.recv_overhead;
             let out = net.msg(r, c, subtree_size(cv, p) * m, t, tr);
             t = out.send_done;

@@ -5,8 +5,8 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::proto::{
-    decode_reply, encode_frame, QueryAnswer, QueryRequest, Reply, ReplyEnvelope, Request,
-    RequestEnvelope, StatsReport, PROTO_VERSION,
+    decode_reply, encode_frame, ErrorReply, QueryAnswer, QueryRequest, ReplicaDump, Reply,
+    ReplyEnvelope, Request, RequestEnvelope, StatsReport, PROTO_VERSION,
 };
 
 /// A blocking protocol client over one TCP connection.
@@ -76,23 +76,38 @@ impl Client {
     }
 
     /// Pipelined batch: all queries are written before any reply is read.
-    /// Answers come back in request order.
-    pub fn query_batch(&mut self, queries: Vec<QueryRequest>) -> Result<Vec<QueryAnswer>, String> {
+    /// Results come back in request order, one slot per query — a rejected
+    /// query puts its typed [`ErrorReply`] in its own slot without
+    /// poisoning the rest of the batch. Only transport-level failures
+    /// (connection loss, garbled framing, id mismatch) fail the whole call.
+    pub fn query_batch(
+        &mut self,
+        queries: Vec<QueryRequest>,
+    ) -> Result<Vec<Result<QueryAnswer, ErrorReply>>, String> {
         let ids: Vec<u64> =
             queries.into_iter().map(|q| self.send(Request::Query(q))).collect::<Result<_, _>>()?;
-        let mut answers = Vec::with_capacity(ids.len());
+        let mut results = Vec::with_capacity(ids.len());
         for id in ids {
             let env = self.recv()?;
             if env.id != id {
                 return Err(format!("reply id {} does not match request id {id}", env.id));
             }
             match env.reply {
-                Reply::Answer(a) => answers.push(a),
-                Reply::Error(e) => return Err(format!("{:?}: {}", e.code, e.message)),
+                Reply::Answer(a) => results.push(Ok(a)),
+                Reply::Error(e) => results.push(Err(e)),
                 other => return Err(format!("unexpected reply {other:?}")),
             }
         }
-        Ok(answers)
+        Ok(results)
+    }
+
+    /// Pull one page of the server's L2 evidence (warm replication).
+    pub fn replicate(&mut self, offset: usize, limit: usize) -> Result<ReplicaDump, String> {
+        match self.call(Request::Replicate { offset, limit })? {
+            Reply::Replica(d) => Ok(d),
+            Reply::Error(e) => Err(format!("{:?}: {}", e.code, e.message)),
+            other => Err(format!("unexpected reply {other:?}")),
+        }
     }
 
     /// Fetch the server's observability counters.

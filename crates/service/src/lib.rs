@@ -38,9 +38,13 @@ pub mod store;
 
 pub use client::Client;
 pub use proto::{
-    decode_reply, decode_request, encode_frame, ErrorCode, QueryAnswer, QueryRequest, Reply,
-    ReplyEnvelope, Request, RequestEnvelope, StatsReport, Tier, MAX_FRAME_BYTES, PROTO_VERSION,
+    decode_reply, decode_request, encode_frame, ErrorCode, ErrorReply, QueryAnswer, QueryRequest,
+    ReplicaCell, ReplicaDump, Reply, ReplyEnvelope, Request, RequestEnvelope, StatsReport, Tier,
+    MAX_FRAME_BYTES, PROTO_VERSION,
 };
-pub use server::{ServeConfig, Server};
+pub use server::{
+    build_store, install_signal_shutdown, Dispatcher, ServeConfig, Server, ShutdownHandle,
+    REPLICA_PAGE_MAX,
+};
 pub use snapshot::{Snapshot, SnapshotCell, SNAPSHOT_FORMAT};
 pub use store::{measure_fault_matrix, CellKey, DefaultPolicy, TierStore};

@@ -16,6 +16,7 @@
 //! [`ErrorCode::BadFrame`]. None of these conditions terminates the
 //! connection or the worker: the server replies and keeps reading.
 
+use pap_core::{BenchMatrix, FaultMatrix};
 use serde::{Deserialize, Serialize};
 
 use pap_collectives::CollectiveKind;
@@ -50,6 +51,16 @@ pub enum Request {
     Metrics,
     /// Liveness probe.
     Ping,
+    /// Pull a page of this server's L2 evidence cells (warm replication: a
+    /// booting fleet shard drains a peer page by page and starts hot).
+    Replicate {
+        /// Index of the first cell to return, in the server's stable export
+        /// order.
+        offset: usize,
+        /// Maximum cells in the reply (the server clamps to keep the frame
+        /// under [`MAX_FRAME_BYTES`]).
+        limit: usize,
+    },
     /// Ask the server to shut down gracefully (drain in-flight work).
     Shutdown,
 }
@@ -98,6 +109,8 @@ pub enum Reply {
     Metrics(pap_obs::MetricsSnapshot),
     /// Answer to a [`Request::Ping`].
     Pong,
+    /// Answer to a [`Request::Replicate`]: one page of L2 evidence.
+    Replica(ReplicaDump),
     /// Acknowledgement of a [`Request::Shutdown`]; the server drains and
     /// exits after sending it.
     Bye,
@@ -267,6 +280,48 @@ pub fn error_reply(id: u64, code: ErrorCode, message: impl Into<String>) -> Repl
     }
 }
 
+/// One L2 evidence cell in a [`ReplicaDump`] page: the cell's identity plus
+/// everything a replica needs to serve it verbatim — benchmark matrix,
+/// optional fault evidence, producing backend, and generation (so L1
+/// entries derived from a replicated cell stay comparable to the donor's).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaCell {
+    /// Canonical machine name the evidence is for.
+    pub machine: String,
+    /// Collective kind.
+    pub collective: CollectiveKind,
+    /// Rank count.
+    pub ranks: usize,
+    /// Message size in bytes.
+    pub bytes: u64,
+    /// The machine's status-quo (fixed production default) algorithm ID.
+    pub status_quo: u8,
+    /// The `(pattern × algorithm)` evidence grid.
+    pub matrix: BenchMatrix,
+    /// Degraded-mode evidence, when the donor had any for this cell.
+    #[serde(default)]
+    pub faults: Option<FaultMatrix>,
+    /// Backend that produced the evidence (`"model"` or `"sim"`).
+    pub backend: String,
+    /// Donor's evidence generation for the cell.
+    pub generation: u64,
+}
+
+/// One page of a server's L2 store ([`Reply::Replica`]). Pages are stable
+/// under a fixed store: the export order is sorted by cell key, so a client
+/// paging `offset = 0, n, 2n, …` sees every cell exactly once as long as
+/// the donor's store does not change mid-drain (late inserts may be missed
+/// until the next drain — warm replication is best-effort, not a log).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaDump {
+    /// Total cells in the donor's L2 store at reply time.
+    pub total: usize,
+    /// Offset this page starts at (echoed from the request).
+    pub offset: usize,
+    /// The cells, in stable export order.
+    pub cells: Vec<ReplicaCell>,
+}
+
 /// Latency histogram bucket of a [`StatsReport`] (cumulative-style upper
 /// bounds, fixed at server start).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -371,6 +426,11 @@ impl StatsReport {
         if total == 0 {
             out.push_str("(no requests)\n");
         } else {
+            out.push_str(&format!(
+                "p50 {}  p99 {}  |  ",
+                self.latency_quantile_label(0.50),
+                self.latency_quantile_label(0.99)
+            ));
             let mut parts = Vec::new();
             for b in &self.latency {
                 if b.count == 0 {
@@ -387,6 +447,30 @@ impl StatsReport {
             out.push('\n');
         }
         out
+    }
+
+    /// Upper-bound label of the bucket holding the `q`-quantile request
+    /// (`"<=100us"`, `"<=inf"`). Histograms only bound quantiles from
+    /// above, so the label reports the bucket edge, not an interpolated
+    /// value. Returns `"n/a"` when the histogram is empty.
+    pub fn latency_quantile_label(&self, q: f64) -> String {
+        let total: u64 = self.latency.iter().map(|b| b.count).sum();
+        if total == 0 {
+            return "n/a".to_string();
+        }
+        let target = ((total as f64) * q).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for b in &self.latency {
+            cum += b.count;
+            if cum >= target {
+                return if b.le_us == u64::MAX {
+                    "<=inf".to_string()
+                } else {
+                    format!("<={}us", b.le_us)
+                };
+            }
+        }
+        "<=inf".to_string()
     }
 }
 
@@ -416,6 +500,10 @@ mod tests {
             let env = RequestEnvelope { v: PROTO_VERSION, id: 7, req: req.clone() };
             assert_eq!(decode_request(encode_frame(&env).trim_end()).unwrap().req, req);
         }
+        // The replication request carries its paging window.
+        let req = Request::Replicate { offset: 32, limit: 16 };
+        let env = RequestEnvelope { v: PROTO_VERSION, id: 8, req: req.clone() };
+        assert_eq!(decode_request(encode_frame(&env).trim_end()).unwrap().req, req);
     }
 
     #[test]
@@ -489,5 +577,39 @@ mod tests {
         assert!(t.contains("<=100us: 10"));
         report.latency.clear();
         assert!(report.render_table().contains("(no requests)"));
+    }
+
+    #[test]
+    fn latency_summary_quantiles_are_bucket_edges() {
+        // 90 requests <=10us, 9 more <=100us, 1 overflow: p50 falls in the
+        // first bucket, p99 exactly closes the second (90 + 9 = 99), and
+        // the full distribution tops out in the overflow bucket.
+        let report = StatsReport {
+            endpoints: EndpointCounters::default(),
+            tiers: TierCounters::default(),
+            connections: 1,
+            frames: 100,
+            l2_cells: 0,
+            l1_entries: 0,
+            snapshot_loaded: false,
+            tuned_at_startup: false,
+            uptime_s: 2.0,
+            latency: vec![
+                LatencyBucket { le_us: 10, count: 90 },
+                LatencyBucket { le_us: 100, count: 9 },
+                LatencyBucket { le_us: u64::MAX, count: 1 },
+            ],
+        };
+        assert_eq!(report.latency_quantile_label(0.50), "<=10us");
+        assert_eq!(report.latency_quantile_label(0.99), "<=100us");
+        assert_eq!(report.latency_quantile_label(1.0), "<=inf");
+        // Golden line: summary columns first, then the bucket breakdown.
+        let t = report.render_table();
+        assert!(
+            t.contains("latency:    p50 <=10us  p99 <=100us  |  <=10us: 90  <=100us: 9  <=inf: 1"),
+            "latency line changed:\n{t}"
+        );
+        let empty = StatsReport { latency: vec![], ..report };
+        assert_eq!(empty.latency_quantile_label(0.5), "n/a");
     }
 }

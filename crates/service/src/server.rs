@@ -24,8 +24,8 @@ use pap_parallel::Pool;
 use pap_sim::{MachineId, Platform};
 
 use crate::proto::{
-    decode_request, encode_frame, error_reply, ErrorCode, Reply, ReplyEnvelope, Request,
-    MAX_FRAME_BYTES, PROTO_VERSION,
+    decode_request, encode_frame, error_reply, ErrorCode, Reply, ReplicaDump, ReplyEnvelope,
+    Request, MAX_FRAME_BYTES, PROTO_VERSION,
 };
 use crate::snapshot::Snapshot;
 use crate::stats::Stats;
@@ -79,7 +79,222 @@ impl Default for ServeConfig {
 }
 
 /// Poll interval for idle connections and shutdown checks.
-const POLL: Duration = Duration::from_millis(100);
+pub(crate) const POLL: Duration = Duration::from_millis(100);
+
+/// Largest [`Request::Replicate`] page the server will return: 16 cells
+/// per frame keeps a page (matrix plus fault evidence per cell) well under
+/// [`MAX_FRAME_BYTES`].
+pub const REPLICA_PAGE_MAX: usize = 16;
+
+/// Build and seed the stats + store pair a daemon serves from, per the
+/// config's snapshot/tuning directives. Shared by the threaded server here
+/// and the event-driven fleet node, so both frontends boot identically.
+pub fn build_store(cfg: &ServeConfig) -> Result<(Arc<Stats>, Arc<TierStore>), String> {
+    let stats = Arc::new(Stats::new());
+    let store = Arc::new(TierStore::new(
+        Arc::clone(&stats),
+        cfg.l1_capacity,
+        cfg.default_policy,
+        cfg.backend,
+        cfg.refine_threads > 0,
+    ));
+    if let Some(path) = &cfg.snapshot {
+        let snap = Snapshot::load(path)?;
+        store.ingest_snapshot(&snap);
+        stats.snapshot_loaded.store(true, Ordering::Relaxed);
+    } else if cfg.tune_at_startup {
+        let machine_id: MachineId = cfg.machine.parse()?;
+        let platform = Platform::preset(machine_id, cfg.ranks);
+        let bench = BenchConfig::simulation().with_backend(cfg.backend);
+        let (_, records) = tune_machine(&platform, &TunePlan::default(), &bench)?;
+        store.ingest_records(machine_id.name(), &records, &cfg.backend.to_string());
+        stats.tuned_at_startup.store(true, Ordering::Relaxed);
+    }
+    Ok((stats, store))
+}
+
+/// The transport-independent request engine: decodes one frame, serves it,
+/// and yields the reply. Both frontends — the thread-per-connection
+/// acceptor here and the epoll event loop in `pap-fleet` — feed complete
+/// frames to one `Dispatcher`, so protocol semantics (error taxonomy,
+/// stats accounting, refinement scheduling, panic isolation) live in
+/// exactly one place.
+pub struct Dispatcher {
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<Stats>,
+    store: Arc<TierStore>,
+    refine_pool: Option<Arc<Pool>>,
+}
+
+impl Dispatcher {
+    /// Assemble a dispatcher over a seeded store.
+    pub fn new(
+        shutdown: Arc<AtomicBool>,
+        stats: Arc<Stats>,
+        store: Arc<TierStore>,
+        refine_pool: Option<Arc<Pool>>,
+    ) -> Dispatcher {
+        Dispatcher { shutdown, stats, store, refine_pool }
+    }
+
+    /// The stats block requests are accounted into.
+    pub fn stats(&self) -> &Arc<Stats> {
+        &self.stats
+    }
+
+    /// The store requests resolve against.
+    pub fn store(&self) -> &Arc<TierStore> {
+        &self.store
+    }
+
+    /// Whether shutdown has been requested (in-band or out).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Count and build the reply for an oversized frame (no newline within
+    /// [`MAX_FRAME_BYTES`]); the connection must close after sending it —
+    /// there is no way to find the next frame boundary.
+    pub fn oversized_frame_reply(&self) -> ReplyEnvelope {
+        self.stats.endpoint_error();
+        error_reply(0, ErrorCode::BadFrame, format!("frame exceeds {MAX_FRAME_BYTES} bytes"))
+    }
+
+    /// Decode and serve one frame (without its trailing newline); always
+    /// yields a reply, never panics out. Counts the frame and records
+    /// handling latency.
+    pub fn serve_frame(&self, line: &[u8]) -> ReplyEnvelope {
+        self.stats.frame();
+        let start = Instant::now();
+        let reply =
+            catch_unwind(AssertUnwindSafe(|| self.serve_frame_inner(line))).unwrap_or_else(|_| {
+                self.stats.endpoint_error();
+                error_reply(0, ErrorCode::Internal, "internal error while serving request")
+            });
+        self.stats.record_latency(start.elapsed());
+        reply
+    }
+
+    fn serve_frame_inner(&self, line: &[u8]) -> ReplyEnvelope {
+        let text = match std::str::from_utf8(line) {
+            Ok(t) => t,
+            Err(_) => {
+                self.stats.endpoint_error();
+                return error_reply(0, ErrorCode::BadFrame, "frame is not valid UTF-8");
+            }
+        };
+        let env = match decode_request(text.trim_end_matches('\r')) {
+            Ok(env) => env,
+            Err(e) => {
+                self.stats.endpoint_error();
+                return error_reply(e.id, e.code, e.message);
+            }
+        };
+        let id = env.id;
+        match env.req {
+            Request::Query(q) => {
+                self.stats.endpoint_query();
+                match self.store.resolve(&q) {
+                    Ok((answer, ticket)) => {
+                        if let Some(key) = ticket {
+                            let submitted = self.refine_pool.as_ref().is_some_and(|pool| {
+                                let store = Arc::clone(&self.store);
+                                let k = key.clone();
+                                pool.submit(move || store.refine(&k))
+                            });
+                            if !submitted {
+                                self.store.cancel_refine(&key);
+                            }
+                        }
+                        ReplyEnvelope { v: PROTO_VERSION, id, reply: Reply::Answer(answer) }
+                    }
+                    Err(msg) => {
+                        self.stats.endpoint_error();
+                        error_reply(id, ErrorCode::BadRequest, msg)
+                    }
+                }
+            }
+            Request::Stats => {
+                self.stats.endpoint_stats();
+                ReplyEnvelope { v: PROTO_VERSION, id, reply: Reply::Stats(self.stats.report()) }
+            }
+            Request::Metrics => {
+                // Counted as a stats-endpoint hit: the legacy StatsReport
+                // shape has no dedicated field, and adding one would break
+                // its pinned wire layout.
+                self.stats.endpoint_stats();
+                ReplyEnvelope {
+                    v: PROTO_VERSION,
+                    id,
+                    reply: Reply::Metrics(self.stats.metrics_snapshot()),
+                }
+            }
+            Request::Ping => {
+                self.stats.endpoint_ping();
+                ReplyEnvelope { v: PROTO_VERSION, id, reply: Reply::Pong }
+            }
+            Request::Replicate { offset, limit } => {
+                // Also a stats-endpoint hit (pinned report shape, see above).
+                self.stats.endpoint_stats();
+                let (total, cells) = self.store.export_cells(offset, limit.clamp(1, REPLICA_PAGE_MAX));
+                ReplyEnvelope {
+                    v: PROTO_VERSION,
+                    id,
+                    reply: Reply::Replica(ReplicaDump { total, offset, cells }),
+                }
+            }
+            Request::Shutdown => {
+                self.stats.endpoint_shutdown();
+                self.shutdown.store(true, Ordering::SeqCst);
+                ReplyEnvelope { v: PROTO_VERSION, id, reply: Reply::Bye }
+            }
+        }
+    }
+}
+
+/// A cloneable out-of-band shutdown trigger for a running [`Server`]
+/// (signal watchers, fleet supervisors). Requesting shutdown is exactly
+/// equivalent to an in-band `Shutdown` frame: the acceptor drains its
+/// connection pool and in-flight requests complete.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    shutdown: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Request a graceful drain and wake the acceptor.
+    pub fn request(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Whether shutdown has already been requested.
+    pub fn is_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// Wire SIGTERM/SIGINT to a server's graceful drain: installs the
+/// process-wide flag handler ([`pap_sysio::install_shutdown_flag`]) and
+/// spawns a watcher thread that requests shutdown once a signal lands. The
+/// watcher exits as soon as the server starts shutting down for any
+/// reason, so it never outlives the drain.
+pub fn install_signal_shutdown(server: &Server) -> Result<(), String> {
+    pap_sysio::install_shutdown_flag().map_err(|e| format!("install signal handler: {e}"))?;
+    let handle = server.shutdown_handle();
+    std::thread::spawn(move || loop {
+        if pap_sysio::shutdown_requested() {
+            handle.request();
+            return;
+        }
+        if handle.is_requested() {
+            return;
+        }
+        std::thread::sleep(POLL);
+    });
+    Ok(())
+}
 
 /// A running daemon.
 pub struct Server {
@@ -87,6 +302,7 @@ pub struct Server {
     shutdown: Arc<AtomicBool>,
     acceptor: std::thread::JoinHandle<()>,
     refine_pool: Option<Arc<Pool>>,
+    dispatcher: Arc<Dispatcher>,
     stats: Arc<Stats>,
     store: Arc<TierStore>,
 }
@@ -95,28 +311,8 @@ impl Server {
     /// Bind, seed the L2 store (snapshot or startup tuning), and start
     /// accepting connections.
     pub fn start(cfg: ServeConfig) -> Result<Server, String> {
-        let stats = Arc::new(Stats::new());
+        let (stats, store) = build_store(&cfg)?;
         let refine_enabled = cfg.refine_threads > 0;
-        let store = Arc::new(TierStore::new(
-            Arc::clone(&stats),
-            cfg.l1_capacity,
-            cfg.default_policy,
-            cfg.backend,
-            refine_enabled,
-        ));
-
-        if let Some(path) = &cfg.snapshot {
-            let snap = Snapshot::load(path)?;
-            store.ingest_snapshot(&snap);
-            stats.snapshot_loaded.store(true, Ordering::Relaxed);
-        } else if cfg.tune_at_startup {
-            let machine_id: MachineId = cfg.machine.parse()?;
-            let platform = Platform::preset(machine_id, cfg.ranks);
-            let bench = BenchConfig::simulation().with_backend(cfg.backend);
-            let (_, records) = tune_machine(&platform, &TunePlan::default(), &bench)?;
-            store.ingest_records(machine_id.name(), &records, &cfg.backend.to_string());
-            stats.tuned_at_startup.store(true, Ordering::Relaxed);
-        }
 
         let listener =
             TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
@@ -130,33 +326,50 @@ impl Server {
         };
         let refine_pool =
             refine_enabled.then(|| Arc::new(Pool::new(cfg.refine_threads, 4 * cfg.refine_threads)));
+        let dispatcher = Arc::new(Dispatcher::new(
+            Arc::clone(&shutdown),
+            Arc::clone(&stats),
+            Arc::clone(&store),
+            refine_pool.clone(),
+        ));
 
         let acceptor = {
             let shutdown = Arc::clone(&shutdown);
             let stats = Arc::clone(&stats);
-            let store = Arc::clone(&store);
-            let refine_pool = refine_pool.clone();
+            let dispatcher = Arc::clone(&dispatcher);
             let read_timeout = cfg.read_timeout;
             std::thread::spawn(move || {
                 let conn_pool = Pool::new(threads, 2 * threads + 16);
                 for incoming in listener.incoming() {
+                    // A stream `incoming` already accepted is a commitment:
+                    // submit it even when this very wake-up is the shutdown,
+                    // or its pipelined requests die as a connection reset.
+                    if let Ok(stream) = incoming {
+                        stats.connection();
+                        let dispatcher = Arc::clone(&dispatcher);
+                        if !conn_pool
+                            .submit(move || handle_connection(stream, &dispatcher, read_timeout))
+                        {
+                            break;
+                        }
+                    }
                     if shutdown.load(Ordering::SeqCst) {
                         break;
                     }
-                    let stream = match incoming {
-                        Ok(s) => s,
-                        Err(_) => continue,
-                    };
-                    stats.connection();
-                    let ctx = ConnCtx {
-                        shutdown: Arc::clone(&shutdown),
-                        stats: Arc::clone(&stats),
-                        store: Arc::clone(&store),
-                        refine_pool: refine_pool.clone(),
-                        read_timeout,
-                    };
-                    if !conn_pool.submit(move || handle_connection(stream, ctx)) {
-                        break;
+                }
+                // Connections established before the shutdown landed may
+                // still sit in the kernel's accept backlog; hand them to the
+                // pool too, so their already-written requests drain instead
+                // of being reset when the listener drops.
+                if listener.set_nonblocking(true).is_ok() {
+                    while let Ok((stream, _)) = listener.accept() {
+                        stats.connection();
+                        let dispatcher = Arc::clone(&dispatcher);
+                        if !conn_pool
+                            .submit(move || handle_connection(stream, &dispatcher, read_timeout))
+                        {
+                            break;
+                        }
                     }
                 }
                 // Drain: every live connection observes the shutdown flag
@@ -165,7 +378,7 @@ impl Server {
             })
         };
 
-        Ok(Server { addr, shutdown, acceptor, refine_pool, stats, store })
+        Ok(Server { addr, shutdown, acceptor, refine_pool, dispatcher, stats, store })
     }
 
     /// The bound address (resolves ephemeral ports).
@@ -188,11 +401,14 @@ impl Server {
         self.shutdown.load(Ordering::SeqCst)
     }
 
+    /// A cloneable out-of-band shutdown trigger for this server.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle { shutdown: Arc::clone(&self.shutdown), addr: self.addr }
+    }
+
     /// Request shutdown from outside (equivalent to a `Shutdown` frame).
     pub fn stop(&self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        // Wake the acceptor if it is blocked in accept().
-        let _ = TcpStream::connect(self.addr);
+        self.shutdown_handle().request();
     }
 
     /// Block until shutdown is requested (by [`Server::stop`] or a client
@@ -207,9 +423,11 @@ impl Server {
         // handler while accept() was blocked.
         let _ = TcpStream::connect(self.addr);
         let _ = self.acceptor.join();
-        // After the conn pool joined no handler holds a refine-pool clone,
-        // so the unwrap succeeds; if it somehow does not, the workers are
-        // left parked and die with the process.
+        // After the conn pool joined no handler holds a dispatcher (and
+        // hence refine-pool) clone; drop ours so the unwrap succeeds. If it
+        // somehow does not, the workers are left parked and die with the
+        // process.
+        drop(self.dispatcher);
         if let Some(pool) = self.refine_pool {
             if let Ok(pool) = Arc::try_unwrap(pool) {
                 let dropped = pool.abort();
@@ -221,29 +439,20 @@ impl Server {
     }
 }
 
-/// Everything a connection handler needs.
-struct ConnCtx {
-    shutdown: Arc<AtomicBool>,
-    stats: Arc<Stats>,
-    store: Arc<TierStore>,
-    refine_pool: Option<Arc<Pool>>,
-    read_timeout: Duration,
-}
-
 /// Serve one connection until EOF, error, idle timeout, or shutdown.
-fn handle_connection(mut stream: TcpStream, ctx: ConnCtx) {
+fn handle_connection(mut stream: TcpStream, dispatcher: &Dispatcher, read_timeout: Duration) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(POLL));
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 16 * 1024];
     let mut last_activity = Instant::now();
+    let mut draining = false;
     loop {
         // Serve every complete frame already buffered.
         while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
             let line: Vec<u8> = buf.drain(..=pos).collect();
             last_activity = Instant::now();
-            ctx.stats.frame();
-            let reply = serve_frame(&line[..line.len() - 1], &ctx);
+            let reply = dispatcher.serve_frame(&line[..line.len() - 1]);
             let bye = matches!(reply.reply, Reply::Bye);
             if stream.write_all(encode_frame(&reply).as_bytes()).is_err() {
                 return;
@@ -252,19 +461,27 @@ fn handle_connection(mut stream: TcpStream, ctx: ConnCtx) {
                 return;
             }
         }
-        if ctx.shutdown.load(Ordering::SeqCst) {
-            return;
+        if dispatcher.shutdown_requested() {
+            if draining {
+                return;
+            }
+            // Final drain: requests already written to the socket when the
+            // shutdown landed still complete. Pull whatever the kernel has
+            // buffered right now, loop once more to serve it, then close;
+            // only bytes arriving after this pass are refused.
+            draining = true;
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(5)));
+            loop {
+                match stream.read(&mut chunk) {
+                    Ok(0) => break,
+                    Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                    Err(_) => break,
+                }
+            }
+            continue;
         }
         if buf.len() > MAX_FRAME_BYTES {
-            // No newline within the frame budget: reply and give up on the
-            // connection (there is no way to find the next frame boundary).
-            let reply = error_reply(
-                0,
-                ErrorCode::BadFrame,
-                format!("frame exceeds {MAX_FRAME_BYTES} bytes"),
-            );
-            ctx.stats.endpoint_error();
-            let _ = stream.write_all(encode_frame(&reply).as_bytes());
+            let _ = stream.write_all(encode_frame(&dispatcher.oversized_frame_reply()).as_bytes());
             return;
         }
         match stream.read(&mut chunk) {
@@ -274,88 +491,11 @@ fn handle_connection(mut stream: TcpStream, ctx: ConnCtx) {
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                if last_activity.elapsed() > ctx.read_timeout {
+                if last_activity.elapsed() > read_timeout {
                     return;
                 }
             }
             Err(_) => return,
-        }
-    }
-}
-
-/// Decode and serve one frame; always yields a reply, never panics out.
-fn serve_frame(line: &[u8], ctx: &ConnCtx) -> ReplyEnvelope {
-    let start = Instant::now();
-    let reply = catch_unwind(AssertUnwindSafe(|| serve_frame_inner(line, ctx))).unwrap_or_else(|_| {
-        ctx.stats.endpoint_error();
-        error_reply(0, ErrorCode::Internal, "internal error while serving request")
-    });
-    ctx.stats.record_latency(start.elapsed());
-    reply
-}
-
-fn serve_frame_inner(line: &[u8], ctx: &ConnCtx) -> ReplyEnvelope {
-    let text = match std::str::from_utf8(line) {
-        Ok(t) => t,
-        Err(_) => {
-            ctx.stats.endpoint_error();
-            return error_reply(0, ErrorCode::BadFrame, "frame is not valid UTF-8");
-        }
-    };
-    let env = match decode_request(text.trim_end_matches('\r')) {
-        Ok(env) => env,
-        Err(e) => {
-            ctx.stats.endpoint_error();
-            return error_reply(e.id, e.code, e.message);
-        }
-    };
-    let id = env.id;
-    match env.req {
-        Request::Query(q) => {
-            ctx.stats.endpoint_query();
-            match ctx.store.resolve(&q) {
-                Ok((answer, ticket)) => {
-                    if let Some(key) = ticket {
-                        let submitted = ctx.refine_pool.as_ref().is_some_and(|pool| {
-                            let store = Arc::clone(&ctx.store);
-                            let k = key.clone();
-                            pool.submit(move || store.refine(&k))
-                        });
-                        if !submitted {
-                            ctx.store.cancel_refine(&key);
-                        }
-                    }
-                    ReplyEnvelope { v: PROTO_VERSION, id, reply: Reply::Answer(answer) }
-                }
-                Err(msg) => {
-                    ctx.stats.endpoint_error();
-                    error_reply(id, ErrorCode::BadRequest, msg)
-                }
-            }
-        }
-        Request::Stats => {
-            ctx.stats.endpoint_stats();
-            ReplyEnvelope { v: PROTO_VERSION, id, reply: Reply::Stats(ctx.stats.report()) }
-        }
-        Request::Metrics => {
-            // Counted as a stats-endpoint hit: the legacy StatsReport shape
-            // has no dedicated field, and adding one would break its pinned
-            // wire layout.
-            ctx.stats.endpoint_stats();
-            ReplyEnvelope {
-                v: PROTO_VERSION,
-                id,
-                reply: Reply::Metrics(ctx.stats.metrics_snapshot()),
-            }
-        }
-        Request::Ping => {
-            ctx.stats.endpoint_ping();
-            ReplyEnvelope { v: PROTO_VERSION, id, reply: Reply::Pong }
-        }
-        Request::Shutdown => {
-            ctx.stats.endpoint_shutdown();
-            ctx.shutdown.store(true, Ordering::SeqCst);
-            ReplyEnvelope { v: PROTO_VERSION, id, reply: Reply::Bye }
         }
     }
 }

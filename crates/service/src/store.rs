@@ -27,7 +27,7 @@ use pap_microbench::{
 use pap_sim::{MachineId, Platform};
 
 use crate::cache::Lru;
-use crate::proto::{QueryAnswer, QueryRequest, Tier};
+use crate::proto::{QueryAnswer, QueryRequest, ReplicaCell, Tier};
 use crate::snapshot::Snapshot;
 use crate::stats::Stats;
 
@@ -215,6 +215,92 @@ impl TierStore {
     /// Number of L2 cells currently held.
     pub fn l2_len(&self) -> usize {
         self.l2.read().expect("l2 lock").len()
+    }
+
+    /// Export one page of L2 cells for warm replication, in a stable sort
+    /// order (machine, collective, ranks, bytes) so a client paging
+    /// `offset = 0, n, 2n, …` over an unchanging store sees every cell
+    /// exactly once. Returns `(total, page)`.
+    pub fn export_cells(&self, offset: usize, limit: usize) -> (usize, Vec<ReplicaCell>) {
+        let l2 = self.l2.read().expect("l2 lock");
+        let mut keys: Vec<&CellKey> = l2.keys().collect();
+        keys.sort_by(|a, b| {
+            (&a.machine, a.kind.to_string(), a.ranks, a.bytes)
+                .cmp(&(&b.machine, b.kind.to_string(), b.ranks, b.bytes))
+        });
+        let page = keys
+            .into_iter()
+            .skip(offset)
+            .take(limit)
+            .map(|k| {
+                let c = &l2[k];
+                ReplicaCell {
+                    machine: k.machine.clone(),
+                    collective: k.kind,
+                    ranks: k.ranks,
+                    bytes: k.bytes,
+                    status_quo: c.status_quo,
+                    matrix: c.matrix.clone(),
+                    faults: c.faults.clone(),
+                    backend: c.backend.clone(),
+                    generation: c.generation,
+                }
+            })
+            .collect();
+        (l2.len(), page)
+    }
+
+    /// Ingest a page of replicated cells (the receiving side of
+    /// [`TierStore::export_cells`]). Validation mirrors snapshot loading:
+    /// the status-quo pick must exist in its matrix, and fault evidence
+    /// must match the cell and the current fault-grid version — serving
+    /// from a donor with a different sweep definition would silently mix
+    /// incomparable evidence. Returns the number of cells ingested.
+    pub fn ingest_replica(&self, cells: &[ReplicaCell]) -> Result<usize, String> {
+        for (i, cell) in cells.iter().enumerate() {
+            if !cell.matrix.algs.contains(&cell.status_quo) {
+                return Err(format!(
+                    "replica cell {i}: status-quo alg {} absent from its evidence matrix",
+                    cell.status_quo
+                ));
+            }
+            if let Some(fm) = &cell.faults {
+                if fm.grid_version != pap_microbench::FAULT_GRID_VERSION {
+                    return Err(format!(
+                        "replica cell {i}: fault grid v{} does not match current v{}",
+                        fm.grid_version,
+                        pap_microbench::FAULT_GRID_VERSION
+                    ));
+                }
+                if fm.kind != cell.collective || fm.bytes != cell.bytes {
+                    return Err(format!(
+                        "replica cell {i}: fault evidence is for {} @ {} B, cell is {} @ {} B",
+                        fm.kind, fm.bytes, cell.collective, cell.bytes
+                    ));
+                }
+            }
+        }
+        let mut l2 = self.l2.write().expect("l2 lock");
+        for cell in cells {
+            let key = CellKey {
+                machine: cell.machine.clone(),
+                kind: cell.collective,
+                ranks: cell.ranks,
+                bytes: cell.bytes,
+            };
+            l2.insert(
+                key,
+                CellEvidence {
+                    matrix: cell.matrix.clone(),
+                    status_quo: cell.status_quo,
+                    faults: cell.faults.clone(),
+                    backend: cell.backend.clone(),
+                    generation: cell.generation,
+                },
+            );
+        }
+        self.stats.l2_cells.set(l2.len() as i64);
+        Ok(cells.len())
     }
 
     /// Resolve one query through the tiers.
@@ -795,6 +881,67 @@ mod tests {
         let l2 = s.l2.read().unwrap();
         let fm = l2.get(&key).unwrap().faults.as_ref().expect("evidence survives ingest");
         assert_eq!(fm.scenarios, vec!["clean", "doctored"], "no fault re-measurement happened");
+    }
+
+    #[test]
+    fn replica_pages_rebuild_an_identical_store() {
+        let donor = seeded_store(0, false, &[8, 1024, 32 * 1024]);
+        let (total, _) = donor.export_cells(0, 0);
+        assert_eq!(total, donor.l2_len());
+
+        // Drain page by page (page size 2 over 3 cells exercises a partial
+        // last page) into a cold replica.
+        let replica = store(0, false);
+        let mut offset = 0;
+        loop {
+            let (total, page) = donor.export_cells(offset, 2);
+            if page.is_empty() {
+                assert!(offset >= total);
+                break;
+            }
+            replica.ingest_replica(&page).unwrap();
+            offset += page.len();
+        }
+        assert_eq!(replica.l2_len(), donor.l2_len());
+
+        // The replica answers the same way the donor does, straight from L2.
+        let (a, _) = donor.resolve(&query(1024, None)).unwrap();
+        let (b, _) = replica.resolve(&query(1024, None)).unwrap();
+        assert_eq!(b.tier, Tier::L2);
+        assert_eq!((b.alg, b.generation, &b.backend), (a.alg, a.generation, &a.backend));
+
+        // Export order is stable: two drains see the same pages.
+        assert_eq!(donor.export_cells(0, 10).1, replica.export_cells(0, 10).1);
+    }
+
+    #[test]
+    fn replica_validation_rejects_crossed_fault_evidence() {
+        use pap_microbench::FAULT_GRID_VERSION;
+        let donor = seeded_store(0, false, &[1024]);
+        let (_, mut page) = donor.export_cells(0, 10);
+        page[0].faults = Some(FaultMatrix {
+            kind: page[0].collective,
+            bytes: page[0].bytes + 1, // crossed: evidence for a different size
+            algs: vec![1, 2],
+            scenarios: vec!["clean".into()],
+            values: vec![vec![Some(1.0), Some(1.5)]],
+            statically_decided: Vec::new(),
+            grid_version: FAULT_GRID_VERSION,
+        });
+        let replica = store(0, false);
+        let err = replica.ingest_replica(&page).unwrap_err();
+        assert!(err.contains("fault evidence"), "{err}");
+        assert_eq!(replica.l2_len(), 0, "nothing ingested on validation failure");
+
+        // Stale grid versions are rejected too.
+        page[0].faults.as_mut().unwrap().bytes -= 1;
+        page[0].faults.as_mut().unwrap().grid_version = FAULT_GRID_VERSION - 1;
+        assert!(replica.ingest_replica(&page).unwrap_err().contains("fault grid"));
+
+        // And a status-quo pick outside the matrix.
+        page[0].faults = None;
+        page[0].status_quo = 99;
+        assert!(replica.ingest_replica(&page).unwrap_err().contains("status-quo"));
     }
 
     #[test]

@@ -239,6 +239,7 @@ fn pipelining_answers_in_request_order() {
         .expect("pipelined batch");
     assert_eq!(answers.len(), sizes.len());
     for (a, &b) in answers.iter().zip(&sizes) {
+        let a = a.as_ref().expect("all queries in this batch are valid");
         assert_eq!(a.bytes, b, "answers must come back in request order");
     }
     // Mixed pipelining (query/ping/stats interleaved) keeps id order too.
@@ -251,6 +252,24 @@ fn pipelining_answers_in_request_order() {
     for id in ids {
         assert_eq!(client.recv().unwrap().id, id);
     }
+    stop(server, &mut client);
+}
+
+/// One rejected query in a pipelined batch lands in its own error slot;
+/// the queries around it still get answers.
+#[test]
+fn batch_isolates_per_query_errors() {
+    let (server, mut client) = start(|_| {});
+    let bad = QueryRequest { ranks: 1, ..query(64) }; // below the 2-rank minimum
+    let results = client
+        .query_batch(vec![query(8), bad, query(1024)])
+        .expect("transport is healthy; only the middle query is rejected");
+    assert_eq!(results.len(), 3);
+    assert_eq!(results[0].as_ref().unwrap().bytes, 8);
+    let err = results[1].as_ref().unwrap_err();
+    assert_eq!(err.code, ErrorCode::BadRequest);
+    assert!(err.message.contains("at least 2"), "{}", err.message);
+    assert_eq!(results[2].as_ref().unwrap().bytes, 1024);
     stop(server, &mut client);
 }
 

@@ -1,0 +1,85 @@
+//! SIGTERM-driven graceful shutdown, end to end over a loopback socket.
+//!
+//! This lives in its own test binary on purpose: `raise_signal` signals the
+//! whole process, so it must not share a process with unrelated tests. The
+//! single test below proves the contract `papctl serve` relies on — a
+//! delivered SIGTERM reuses the same drain path as a `Shutdown` frame, and
+//! queries already in flight complete instead of being torn down.
+
+use std::time::{Duration, Instant};
+
+use pap_collectives::CollectiveKind;
+use pap_service::proto::Reply;
+use pap_service::{install_signal_shutdown, Client, QueryRequest, Request, ServeConfig, Server, Tier};
+use pap_sysio::{raise_signal, SIGTERM};
+
+fn query(ranks: usize) -> Request {
+    Request::Query(QueryRequest {
+        machine: "simcluster".into(),
+        collective: CollectiveKind::Reduce,
+        bytes: 1024,
+        ranks,
+        arrivals: None,
+    })
+}
+
+#[test]
+fn sigterm_drains_in_flight_queries() {
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        tune_at_startup: true,
+        refine_threads: 0,
+        ..ServeConfig::default()
+    })
+    .expect("server start");
+    install_signal_shutdown(&server).expect("signal handler");
+    let addr = server.local_addr();
+
+    // Pipeline queries on several connections, replies deliberately unread:
+    // these frames are in flight — written to the kernel, not yet answered —
+    // when the signal lands.
+    let mut clients: Vec<Client> = (0..4)
+        .map(|i| Client::connect(addr).unwrap_or_else(|e| panic!("connect #{i}: {e}")))
+        .collect();
+    let mut pending = Vec::new();
+    for (i, c) in clients.iter_mut().enumerate() {
+        for _ in 0..3 {
+            pending.push((i, c.send(query(16)).expect("send")));
+        }
+    }
+
+    raise_signal(SIGTERM).expect("raise SIGTERM");
+
+    // The drain path answers every one of them before closing.
+    let mut iter = pending.into_iter();
+    for (i, c) in clients.iter_mut().enumerate() {
+        for _ in 0..3 {
+            let (conn, id) = iter.next().expect("one pending per send");
+            assert_eq!(conn, i);
+            let env = c.recv().unwrap_or_else(|e| panic!("in-flight reply #{i} lost: {e}"));
+            assert_eq!(env.id, id);
+            match env.reply {
+                Reply::Answer(a) => assert!(
+                    matches!(a.tier, Tier::L1 | Tier::L2),
+                    "tuned cell answers from cache while draining, not {:?}",
+                    a.tier
+                ),
+                other => panic!("in-flight query #{i} got {other:?}"),
+            }
+        }
+    }
+    drop(clients);
+
+    // The signal alone — no Shutdown frame — must bring the daemon down.
+    server.join();
+
+    // And once down, the port stops accepting.
+    let deadline = Instant::now() + Duration::from_secs(2);
+    loop {
+        match std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(200)) {
+            Err(_) => break,
+            Ok(_) if Instant::now() > deadline => panic!("daemon still accepting after SIGTERM"),
+            Ok(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}

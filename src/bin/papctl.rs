@@ -13,6 +13,10 @@
 //! papctl query <machine> <collective> <bytes> --addr HOST:PORT [--ranks N]
 //!              [--arrivals d0,d1,…] [--json]
 //! papctl query --addr HOST:PORT {--stats|--metrics|--ping|--shutdown}
+//! papctl fleet serve [--shards N] [serve flags]
+//! papctl fleet query <machine> <collective> <bytes> --addrs A1,A2,… [--ranks N] [--json]
+//! papctl fleet stats --addrs A1,A2,… [--json]
+//! papctl fleet shutdown --addrs A1,A2,…
 //! papctl profile <collective> [--pattern S] [--machine M] [--ranks N] [--bytes B]
 //!                [--alg A] [--skew-us X] [--seed N] [--out FILE] [--check]
 //!                [--fault SPEC]
@@ -157,6 +161,7 @@ fn main() -> ExitCode {
         "tune" => cmd_tune(&args),
         "profile" => cmd_profile(&args),
         "serve" => cmd_serve(&args),
+        "fleet" => cmd_fleet(&args),
         "query" => cmd_query(&args),
         "ft" => cmd_ft(&args),
         "trace" => cmd_trace(&args),
@@ -180,7 +185,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: papctl <machines|algorithms|pattern|bench|sweep|tune|profile|serve|query|ft|trace|lint|repair|help> …
+const USAGE: &str = "usage: papctl <machines|algorithms|pattern|bench|sweep|tune|profile|serve|fleet|query|ft|trace|lint|repair|help> …
 global flags: --threads N   worker threads for sweep/tune fan-out
                             (default: PAP_THREADS env, else all cores; 1 = sequential);
                             for `serve`, also the connection-pool size
@@ -218,6 +223,13 @@ query flags: --addr A       daemon address (required; printed by `papctl serve`)
              --arrivals CSV per-rank arrival samples, e.g. 0,0.2,1.5e-3
              --json         print the raw answer/stats JSON
              --stats | --metrics | --ping | --shutdown   control endpoints (no positionals)
+fleet:       serve [--shards N] [serve flags]  N event-driven shards; shard 0
+                            seeds per the serve flags, the rest warm-replicate
+                            its L2 evidence over the wire before accepting
+             query/stats/shutdown --addrs A1,A2,…  consistent-hash routed
+                            client over the shard list `fleet serve` printed
+                            (query retries transport failures and fails over;
+                            stats aggregates every live shard)
 profile flags: --pattern S  arrival-pattern shape (default imbalanced-linear,
                             an alias for ascending; hyphens ≡ underscores)
              --machine M    machine preset (default simcluster)
@@ -544,9 +556,9 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_serve(args: &Args) -> Result<(), String> {
+fn serve_config_from(args: &Args) -> Result<ServeConfig, String> {
     let defaults = ServeConfig::default();
-    let cfg = ServeConfig {
+    Ok(ServeConfig {
         addr: args.flag("addr", defaults.addr.clone()),
         snapshot: args.opt("snapshot").map(std::path::PathBuf::from),
         backend: match args.opt("backend") {
@@ -564,8 +576,15 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         },
         read_timeout: defaults.read_timeout,
         tune_at_startup: !args.has("no-tune"),
-    };
+    })
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let cfg = serve_config_from(args)?;
     let server = Server::start(cfg)?;
+    // SIGTERM/SIGINT reuse the same graceful drain as `query --shutdown`:
+    // in-flight requests complete, then the listener closes.
+    pap::service::install_signal_shutdown(&server)?;
     // Scripted callers (the CI smoke job) read the resolved port from this
     // line, so flush past stdout's pipe buffering before blocking.
     println!("papd listening on {}", server.local_addr());
@@ -575,6 +594,102 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     server.join();
     eprint!("papd: shut down\n{}", stats.report().render_table());
     Ok(())
+}
+
+fn fleet_addrs(args: &Args) -> Result<Vec<std::net::SocketAddr>, String> {
+    args.opt("addrs")
+        .ok_or("fleet commands need --addrs A1,A2,… (printed by `papctl fleet serve`)")?
+        .split(',')
+        .map(|a| a.trim().parse().map_err(|e| format!("bad shard address '{a}': {e}")))
+        .collect()
+}
+
+fn cmd_fleet(args: &Args) -> Result<(), String> {
+    match args.pos(0)? {
+        "serve" => {
+            let shards = args.flag("shards", 2usize);
+            let base = serve_config_from(args)?;
+            let fleet = pap::fleet::Fleet::start(pap::fleet::FleetConfig { shards, base })?;
+            for (i, addr) in fleet.addrs().iter().enumerate() {
+                println!("papd shard {i} listening on {addr}");
+            }
+            // Scripted callers scrape this single line for the client-side
+            // --addrs value; flush past stdout's pipe buffering.
+            let addrs: Vec<String> = fleet.addrs().iter().map(|a| a.to_string()).collect();
+            println!("fleet listening on {}", addrs.join(","));
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            // Run until SIGTERM/SIGINT, or until every shard was asked to
+            // shut down in-band (`papctl fleet shutdown`).
+            pap::sysio::install_shutdown_flag().map_err(|e| format!("signal handler: {e}"))?;
+            loop {
+                if pap::sysio::shutdown_requested() {
+                    break;
+                }
+                let all_stopping = (0..fleet.shards())
+                    .all(|i| fleet.node(i).is_none_or(|n| n.is_shutting_down()));
+                if all_stopping {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+            fleet.join_all();
+            eprintln!("fleet: shut down");
+            Ok(())
+        }
+        "query" => {
+            let mut client = pap::fleet::FleetClient::new(fleet_addrs(args)?);
+            let machine = args.pos(1)?.to_string();
+            let collective: CollectiveKind = args.pos(2)?.parse()?;
+            let bytes: u64 = args.pos(3)?.parse().map_err(|_| "bytes must be a number")?;
+            let ranks = args.flag("ranks", 16usize);
+            let q = QueryRequest { machine, collective, bytes, ranks, arrivals: None };
+            let shard = client.route(&q).ok_or("fleet has no live shards")?;
+            let answer = client.query(q)?;
+            if args.has("json") {
+                println!("{}", serde_json::to_string_pretty(&answer).map_err(|e| e.to_string())?);
+            } else {
+                println!(
+                    "{} {} B on {} ({} ranks) via shard {}: use A{}  [policy {}; tier {}]",
+                    answer.collective,
+                    answer.bytes,
+                    answer.machine,
+                    answer.ranks,
+                    shard,
+                    answer.alg,
+                    answer.policy,
+                    answer.tier.label(),
+                );
+            }
+            Ok(())
+        }
+        "stats" => {
+            let mut client = pap::fleet::FleetClient::new(fleet_addrs(args)?);
+            let agg = client.stats()?;
+            if args.has("json") {
+                println!("{}", serde_json::to_string_pretty(&agg).map_err(|e| e.to_string())?);
+            } else {
+                for (shard, report) in client.stats_per_shard()? {
+                    println!(
+                        "shard {shard}: {} queries, {} connections, {} L2 cells{}",
+                        report.endpoints.query,
+                        report.connections,
+                        report.l2_cells,
+                        if report.snapshot_loaded { " (warm)" } else { "" },
+                    );
+                }
+                print!("{}", agg.render_table());
+            }
+            Ok(())
+        }
+        "shutdown" => {
+            let mut client = pap::fleet::FleetClient::new(fleet_addrs(args)?);
+            client.shutdown_all();
+            println!("fleet acknowledged shutdown");
+            Ok(())
+        }
+        other => Err(format!("unknown fleet subcommand '{other}'\n{USAGE}")),
+    }
 }
 
 fn cmd_query(args: &Args) -> Result<(), String> {

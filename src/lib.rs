@@ -32,6 +32,10 @@
 //! * [`service`] — `papd`, the online selection daemon (`papctl serve` /
 //!   `papctl query`): tiered caching over precomputed tuning evidence,
 //!   arrival-sample classification, background sim refinement
+//! * [`sysio`] — std-only OS plumbing for the serving tier: epoll
+//!   readiness polling, signal-driven shutdown flags, fd-limit control
+//! * [`fleet`] — sharded serving tier (`papctl fleet …`): consistent-hash
+//!   routing, warm shard-to-shard replication, event-driven nodes
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for the
 //! experiment index.
@@ -44,6 +48,7 @@ pub use pap_arrival as arrival;
 pub use pap_clocksync as clocksync;
 pub use pap_collectives as collectives;
 pub use pap_core as core;
+pub use pap_fleet as fleet;
 pub use pap_lint as lint;
 pub use pap_microbench as microbench;
 pub use pap_model as model;
@@ -51,4 +56,5 @@ pub use pap_obs as obs;
 pub use pap_parallel as parallel;
 pub use pap_service as service;
 pub use pap_sim as sim;
+pub use pap_sysio as sysio;
 pub use pap_tracer as tracer;
