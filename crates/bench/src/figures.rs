@@ -63,7 +63,7 @@ fn ft_setup(machine: MachineId, scale: Scale) -> (Platform, FtConfig) {
     let platform = Platform::preset(machine, scale.ranks);
     let mut cfg = FtConfig::class_d_like(scale.ranks);
     cfg.iterations = if scale.quick { 3 } else { 6 };
-    cfg.seed = scale.seed ^ (machine as u64 + 1).wrapping_mul(0x9E37_79B9);
+    cfg.seed = scale.seed ^ (machine.seed_tag() + 1).wrapping_mul(0x9E37_79B9);
     (platform, cfg)
 }
 
@@ -328,7 +328,7 @@ pub fn machine_study(machine: MachineId, scale: Scale) -> MachineStudy {
 
     // 2. Benchmark matrix at the FT message size: artificial patterns sized
     //    by the traced skew, plus the FT-Scenario itself.
-    let cfg = BenchConfig::real_machine(scale.nrep).with_seed(scale.seed ^ machine as u64);
+    let cfg = BenchConfig::real_machine(scale.nrep).with_seed(scale.seed ^ machine.seed_tag());
     let sw = sweep(
         &platform,
         CollectiveKind::Alltoall,

@@ -15,7 +15,10 @@ use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::time::Duration;
 
-use pap_service::proto::{ErrorReply, QueryAnswer, QueryRequest, Reply, Request, StatsReport};
+use pap_service::proto::{
+    CalibrateAnswer, CalibrateRequest, ErrorReply, QueryAnswer, QueryRequest, Reply, Request,
+    StatsReport,
+};
 use pap_service::Client;
 
 use crate::ring::Ring;
@@ -173,6 +176,43 @@ impl FleetClient {
             }
         }
         Ok(slots.into_iter().map(|s| s.expect("every query was routed")).collect())
+    }
+
+    /// Broadcast a calibration to every live shard, so whichever shard a
+    /// later query routes to (including after failovers) knows the fitted
+    /// machine and serves its L2 grid hot. Returns `(shard, answer)` pairs
+    /// for the shards that accepted; a shard-level rejection fails the
+    /// call (every shard runs the same guideline gate, so one rejection
+    /// means all would reject).
+    pub fn calibrate_all(
+        &mut self,
+        name: &str,
+        ranks: usize,
+        probe: pap_calibrate::Probe,
+    ) -> Result<Vec<(usize, CalibrateAnswer)>, String> {
+        let mut out = Vec::new();
+        for shard in 0..self.addrs.len() {
+            if !self.alive[shard] {
+                continue;
+            }
+            let req = CalibrateRequest {
+                name: name.to_string(),
+                ranks,
+                probe: probe.clone(),
+            };
+            match self.call_on(shard, Request::Calibrate(req)) {
+                Ok(Reply::Calibrated(a)) => out.push((shard, a)),
+                Ok(Reply::Error(e)) => {
+                    return Err(format!("shard {shard} rejected calibration: {}", e.message))
+                }
+                Ok(other) => return Err(format!("unexpected reply {other:?}")),
+                Err(_) => {} // dead shards simply drop out, as in stats
+            }
+        }
+        if out.is_empty() {
+            return Err("no live shard accepted the calibration".to_string());
+        }
+        Ok(out)
     }
 
     /// Per-shard stats from every live shard, as `(shard, report)` pairs.

@@ -32,6 +32,7 @@ pub fn aggregate_stats(reports: &[StatsReport]) -> StatsReport {
         out.endpoints.stats += r.endpoints.stats;
         out.endpoints.ping += r.endpoints.ping;
         out.endpoints.shutdown += r.endpoints.shutdown;
+        out.endpoints.calibrate += r.endpoints.calibrate;
         out.endpoints.error += r.endpoints.error;
         out.tiers.l1_hits += r.tiers.l1_hits;
         out.tiers.l2_exact += r.tiers.l2_exact;

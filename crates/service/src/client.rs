@@ -5,8 +5,9 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::proto::{
-    decode_reply, encode_frame, ErrorReply, QueryAnswer, QueryRequest, ReplicaDump, Reply,
-    ReplyEnvelope, Request, RequestEnvelope, StatsReport, PROTO_VERSION,
+    decode_reply, encode_frame, CalibrateAnswer, CalibrateRequest, ErrorReply, QueryAnswer,
+    QueryRequest, ReplicaDump, Reply, ReplyEnvelope, Request, RequestEnvelope, StatsReport,
+    PROTO_VERSION,
 };
 
 /// A blocking protocol client over one TCP connection.
@@ -99,6 +100,22 @@ impl Client {
             }
         }
         Ok(results)
+    }
+
+    /// Onboard a machine from a measured probe: the server fits, registers
+    /// `custom:<name>`, and publishes a model-backed L2 grid at `ranks`.
+    pub fn calibrate(
+        &mut self,
+        name: &str,
+        ranks: usize,
+        probe: pap_calibrate::Probe,
+    ) -> Result<CalibrateAnswer, String> {
+        let req = CalibrateRequest { name: name.to_string(), ranks, probe };
+        match self.call(Request::Calibrate(req))? {
+            Reply::Calibrated(a) => Ok(a),
+            Reply::Error(e) => Err(format!("{:?}: {}", e.code, e.message)),
+            other => Err(format!("unexpected reply {other:?}")),
+        }
     }
 
     /// Pull one page of the server's L2 evidence (warm replication).

@@ -38,9 +38,9 @@ pub mod store;
 
 pub use client::Client;
 pub use proto::{
-    decode_reply, decode_request, encode_frame, ErrorCode, ErrorReply, QueryAnswer, QueryRequest,
-    ReplicaCell, ReplicaDump, Reply, ReplyEnvelope, Request, RequestEnvelope, StatsReport, Tier,
-    MAX_FRAME_BYTES, PROTO_VERSION,
+    decode_reply, decode_request, encode_frame, CalibrateAnswer, CalibrateRequest, ErrorCode,
+    ErrorReply, QueryAnswer, QueryRequest, ReplicaCell, ReplicaDump, Reply, ReplyEnvelope, Request,
+    RequestEnvelope, StatsReport, Tier, MAX_FRAME_BYTES, PROTO_VERSION,
 };
 pub use server::{
     build_store, install_signal_shutdown, Dispatcher, ServeConfig, Server, ShutdownHandle,

@@ -61,8 +61,41 @@ pub enum Request {
         /// under [`MAX_FRAME_BYTES`]).
         limit: usize,
     },
+    /// Onboard an unseen machine from a measured probe: the server fits
+    /// platform parameters inline (`pap-calibrate`), registers the machine
+    /// as a `custom:<name>` preset, publishes a model-backed L2 grid for
+    /// it, and schedules background sim refinement of those cells.
+    Calibrate(CalibrateRequest),
     /// Ask the server to shut down gracefully (drain in-flight work).
     Shutdown,
+}
+
+/// An online calibration request: a measured probe plus the name the
+/// fitted machine should be served under.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrateRequest {
+    /// Name to register the fitted machine under (served as
+    /// `custom:<name>`; lowercase letters, digits, `.`, `_`, `-`).
+    pub name: String,
+    /// Rank count to pre-tune the published L2 grid at.
+    pub ranks: usize,
+    /// The measured probe (its own `format` field versions the payload
+    /// independently of [`PROTO_VERSION`]).
+    pub probe: pap_calibrate::Probe,
+}
+
+/// The answer to a [`Request::Calibrate`]: the accepted fit and what the
+/// server published from it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrateAnswer {
+    /// Canonical machine name queries should use (`custom:<name>`).
+    pub machine: String,
+    /// The accepted fit: parameters plus residual diagnostics.
+    pub fit: pap_calibrate::FitReport,
+    /// L2 evidence cells published for the new machine.
+    pub l2_cells: usize,
+    /// Background sim refinements scheduled over those cells.
+    pub refine_scheduled: usize,
 }
 
 /// An algorithm-selection query.
@@ -111,6 +144,8 @@ pub enum Reply {
     Pong,
     /// Answer to a [`Request::Replicate`]: one page of L2 evidence.
     Replica(ReplicaDump),
+    /// Answer to a [`Request::Calibrate`].
+    Calibrated(CalibrateAnswer),
     /// Acknowledgement of a [`Request::Shutdown`]; the server drains and
     /// exits after sending it.
     Bye,
@@ -143,6 +178,17 @@ impl Tier {
             Tier::L2 => "l2",
             Tier::L2Near => "l2_near",
             Tier::Computed => "computed",
+        }
+    }
+
+    /// Human wording for interactive output (`papctl query`): what serving
+    /// from this tier actually meant.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Tier::L1 => "L1 answer cache",
+            Tier::L2 => "L2 evidence, exact size",
+            Tier::L2Near => "L2 evidence, nearest size",
+            Tier::Computed => "computed inline",
         }
     }
 }
@@ -344,6 +390,10 @@ pub struct EndpointCounters {
     pub ping: u64,
     /// `Shutdown` requests served.
     pub shutdown: u64,
+    /// `Calibrate` requests served. Defaults on deserialize so reports
+    /// from pre-calibration servers still load.
+    #[serde(default)]
+    pub calibrate: u64,
     /// Error replies sent (any endpoint, including undecodable frames).
     pub error: u64,
 }
@@ -402,10 +452,11 @@ impl StatsReport {
             self.uptime_s, self.connections, self.frames
         ));
         out.push_str(&format!(
-            "endpoints:  query {:>8}  stats {:>6}  ping {:>6}  shutdown {:>3}  errors {:>6}\n",
+            "endpoints:  query {:>8}  stats {:>6}  ping {:>6}  calibrate {:>3}  shutdown {:>3}  errors {:>6}\n",
             self.endpoints.query,
             self.endpoints.stats,
             self.endpoints.ping,
+            self.endpoints.calibrate,
             self.endpoints.shutdown,
             self.endpoints.error
         ));
@@ -504,6 +555,32 @@ mod tests {
         let req = Request::Replicate { offset: 32, limit: 16 };
         let env = RequestEnvelope { v: PROTO_VERSION, id: 8, req: req.clone() };
         assert_eq!(decode_request(encode_frame(&env).trim_end()).unwrap().req, req);
+    }
+
+    #[test]
+    fn calibrate_frames_round_trip() {
+        let probe = pap_calibrate::synthesize_probe(
+            pap_sim::MachineId::SimCluster,
+            "wiretest",
+            &pap_calibrate::ProbeConfig { reps: 1, noise: false, ..Default::default() },
+        )
+        .unwrap();
+        let req = Request::Calibrate(CalibrateRequest {
+            name: "wiretest".into(),
+            ranks: 16,
+            probe,
+        });
+        let env = RequestEnvelope { v: PROTO_VERSION, id: 21, req: req.clone() };
+        assert_eq!(decode_request(encode_frame(&env).trim_end()).unwrap().req, req);
+    }
+
+    #[test]
+    fn old_stats_reports_load_without_the_calibrate_counter() {
+        // A report serialized before the Calibrate endpoint existed has no
+        // `calibrate` field; it must still deserialize (as 0).
+        let json = "{\"query\":5,\"stats\":1,\"ping\":2,\"shutdown\":0,\"error\":3}";
+        let c: EndpointCounters = serde_json::from_str(json).unwrap();
+        assert_eq!((c.query, c.calibrate, c.error), (5, 0, 3));
     }
 
     #[test]

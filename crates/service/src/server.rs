@@ -243,6 +243,31 @@ impl Dispatcher {
                     reply: Reply::Replica(ReplicaDump { total, offset, cells }),
                 }
             }
+            Request::Calibrate(c) => {
+                self.stats.endpoint_calibrate();
+                match self.store.calibrate(&c) {
+                    Ok((answer, tickets)) => {
+                        // Same ownership contract as the query path: the
+                        // store scheduled the tickets, the dispatcher's pool
+                        // runs them (or cancels when there is no pool).
+                        for key in tickets {
+                            let submitted = self.refine_pool.as_ref().is_some_and(|pool| {
+                                let store = Arc::clone(&self.store);
+                                let k = key.clone();
+                                pool.submit(move || store.refine(&k))
+                            });
+                            if !submitted {
+                                self.store.cancel_refine(&key);
+                            }
+                        }
+                        ReplyEnvelope { v: PROTO_VERSION, id, reply: Reply::Calibrated(answer) }
+                    }
+                    Err(msg) => {
+                        self.stats.endpoint_error();
+                        error_reply(id, ErrorCode::BadRequest, msg)
+                    }
+                }
+            }
             Request::Shutdown => {
                 self.stats.endpoint_shutdown();
                 self.shutdown.store(true, Ordering::SeqCst);

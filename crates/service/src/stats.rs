@@ -24,6 +24,12 @@ use crate::proto::{EndpointCounters, LatencyBucket, StatsReport, TierCounters};
 pub const LATENCY_BOUNDS_US: [u64; 12] =
     [1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 5_000, 50_000];
 
+/// Upper bounds (basis points, 1 bp = 0.01%) of the calibration
+/// fit-quality histogram: the median relative residual of each accepted
+/// fit. The guideline gate rejects fits above 1500 bp, so the overflow
+/// bucket stays empty unless the gate loosens.
+pub const FIT_RESIDUAL_BOUNDS_BP: [u64; 8] = [10, 25, 50, 100, 250, 500, 1_000, 1_500];
+
 /// Per-server metric handles; every recording is an independent relaxed
 /// atomic, so request handlers on different pool workers never contend on a
 /// lock to record.
@@ -36,6 +42,10 @@ pub struct Stats {
     stats: Counter,
     ping: Counter,
     shutdown: Counter,
+    calibrate: Counter,
+    calibrations_accepted: Counter,
+    calibrations_rejected: Counter,
+    calibration_residual_bp: Histogram,
     error: Counter,
     l1_hits: Counter,
     l2_exact: Counter,
@@ -82,6 +92,11 @@ impl Stats {
             stats: registry.counter("papd.endpoint.stats"),
             ping: registry.counter("papd.endpoint.ping"),
             shutdown: registry.counter("papd.endpoint.shutdown"),
+            calibrate: registry.counter("papd.endpoint.calibrate"),
+            calibrations_accepted: registry.counter("papd.calibration.accepted"),
+            calibrations_rejected: registry.counter("papd.calibration.rejected"),
+            calibration_residual_bp: registry
+                .histogram("papd.calibration.fit_residual_bp", &FIT_RESIDUAL_BOUNDS_BP),
             error: registry.counter("papd.endpoint.error"),
             l1_hits: registry.counter("papd.tier.l1_hits"),
             l2_exact: registry.counter("papd.tier.l2_exact"),
@@ -106,7 +121,9 @@ impl Stats {
         endpoint_stats => stats,
         endpoint_ping => ping,
         endpoint_shutdown => shutdown,
+        endpoint_calibrate => calibrate,
         endpoint_error => error,
+        calibration_rejected => calibrations_rejected,
         l1_hit => l1_hits,
         l2_exact_hit => l2_exact,
         l2_near_hit => l2_near,
@@ -119,6 +136,14 @@ impl Stats {
     /// Record one request's handling latency in the fixed-bucket histogram.
     pub fn record_latency(&self, elapsed: Duration) {
         self.latency.record(elapsed.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Count an accepted calibration and record its fit quality (the
+    /// median relative residual, in basis points).
+    pub fn calibration_accepted(&self, median_rel_residual: f64) {
+        self.calibrations_accepted.inc();
+        let bp = (median_rel_residual.max(0.0) * 10_000.0).round();
+        self.calibration_residual_bp.record(bp.min(u64::MAX as f64) as u64);
     }
 
     /// This server's registry (the `Metrics` endpoint snapshots it).
@@ -153,6 +178,7 @@ impl Stats {
                 stats: self.stats.get(),
                 ping: self.ping.get(),
                 shutdown: self.shutdown.get(),
+                calibrate: self.calibrate.get(),
                 error: self.error.get(),
             },
             tiers: TierCounters {
@@ -212,6 +238,26 @@ mod tests {
         assert_eq!(le10.count, 1);
         assert_eq!(r.latency.last().unwrap().le_us, u64::MAX);
         assert_eq!(r.latency.last().unwrap().count, 1);
+    }
+
+    #[test]
+    fn calibration_counters_and_fit_histogram_record() {
+        let s = Stats::new();
+        s.endpoint_calibrate();
+        s.calibration_accepted(0.004); // 40 bp -> <= 50 bucket
+        s.calibration_rejected();
+        assert_eq!(s.report().endpoints.calibrate, 1);
+        let snap = s.metrics_snapshot();
+        let counter =
+            |name: &str| snap.counters.iter().find(|c| c.name == name).map(|c| c.value);
+        assert_eq!(counter("papd.calibration.accepted"), Some(1));
+        assert_eq!(counter("papd.calibration.rejected"), Some(1));
+        let h = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "papd.calibration.fit_residual_bp")
+            .expect("fit-quality histogram registered");
+        assert_eq!(h.count, 1);
     }
 
     #[test]

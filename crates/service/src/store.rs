@@ -18,16 +18,20 @@ use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex, RwLock};
 
 use pap_arrival::{classify_delays, Shape};
+use pap_calibrate::fit_probe;
 use pap_collectives::registry::experiment_ids;
 use pap_collectives::CollectiveKind;
-use pap_core::{select, select_with_faults, BenchMatrix, FaultMatrix, SelectionPolicy, TuneRecord};
+use pap_core::{
+    select, select_with_faults, tune_machine, BenchMatrix, FaultMatrix, SelectionPolicy, TunePlan,
+    TuneRecord,
+};
 use pap_microbench::{
     fault_sweep, no_delay_runtime, standard_grid, sweep, Backend, BenchConfig, SkewPolicy,
 };
-use pap_sim::{MachineId, Platform};
+use pap_sim::{register_custom_platform, MachineId, Platform};
 
 use crate::cache::Lru;
-use crate::proto::{QueryAnswer, QueryRequest, ReplicaCell, Tier};
+use crate::proto::{CalibrateAnswer, CalibrateRequest, QueryAnswer, QueryRequest, ReplicaCell, Tier};
 use crate::snapshot::Snapshot;
 use crate::stats::Stats;
 
@@ -303,6 +307,61 @@ impl TierStore {
         Ok(cells.len())
     }
 
+    /// Onboard an unseen machine from a measured probe: fit the platform
+    /// parameters inline, register the machine as `custom:<name>`, run a
+    /// tuning sweep over the standard grid with the cheap compute backend,
+    /// and publish the result as L2 evidence so the very next query is an
+    /// L2 hit.
+    ///
+    /// Returns the answer plus the refinement tickets for the published
+    /// cells (the caller owns the worker pool — same contract as
+    /// [`TierStore::resolve`]). A probe the guideline gate rejects is a
+    /// client error and registers nothing.
+    pub fn calibrate(
+        &self,
+        req: &CalibrateRequest,
+    ) -> Result<(CalibrateAnswer, Vec<CellKey>), String> {
+        // Validate the name before paying for the fit.
+        MachineId::custom(&req.name)?;
+        if req.ranks < 2 {
+            return Err(format!("need at least 2 ranks to pre-tune, got {}", req.ranks));
+        }
+        let fit = fit_probe(&req.probe).map_err(|e| {
+            self.stats.calibration_rejected();
+            format!("calibration rejected: {e}")
+        })?;
+        let machine = register_custom_platform(&req.name, fit.spec.clone())?;
+        let platform = Platform::try_preset(machine, req.ranks)?;
+        let bench = BenchConfig::simulation().with_backend(self.compute_backend);
+        let (_, records) = tune_machine(&platform, &TunePlan::default(), &bench)?;
+        self.ingest_records(machine.name(), &records, &self.compute_backend.to_string());
+        self.stats.calibration_accepted(fit.median_rel_residual);
+
+        let mut tickets = Vec::new();
+        if self.refine_enabled && self.compute_backend != Backend::Sim {
+            let mut refining = self.refining.lock().expect("refining lock");
+            for rec in &records {
+                let key = CellKey {
+                    machine: machine.name().to_string(),
+                    kind: rec.entry.kind,
+                    ranks: rec.entry.ranks,
+                    bytes: rec.entry.bytes,
+                };
+                if refining.insert(key.clone()) {
+                    self.stats.refine_scheduled();
+                    tickets.push(key);
+                }
+            }
+        }
+        let answer = CalibrateAnswer {
+            machine: machine.name().to_string(),
+            fit,
+            l2_cells: records.len(),
+            refine_scheduled: tickets.len(),
+        };
+        Ok((answer, tickets))
+    }
+
     /// Resolve one query through the tiers.
     ///
     /// Returns the answer plus, when a background sim refinement should be
@@ -315,7 +374,7 @@ impl TierStore {
             return Err(format!("need at least 2 ranks, got {}", q.ranks));
         }
         let capacity = {
-            let probe = Platform::preset(machine_id, 1);
+            let probe = Platform::try_preset(machine_id, 1)?;
             probe.nodes * probe.cores_per_node
         };
         if q.ranks > capacity {
@@ -619,7 +678,7 @@ impl TierStore {
         key: &CellKey,
         backend: Backend,
     ) -> Result<BenchMatrix, String> {
-        let platform = Platform::preset(machine_id, key.ranks);
+        let platform = Platform::try_preset(machine_id, key.ranks)?;
         let algs = experiment_ids(key.kind);
         let cfg = BenchConfig::simulation().with_backend(backend);
         let sw = sweep(&platform, key.kind, &algs, &self.shapes, key.bytes, self.skew, &[], &cfg)
@@ -638,7 +697,7 @@ pub fn measure_fault_matrix(
     ranks: usize,
     bytes: u64,
 ) -> Result<FaultMatrix, String> {
-    let platform = Platform::preset(machine_id, ranks);
+    let platform = Platform::try_preset(machine_id, ranks)?;
     let algs = experiment_ids(kind);
     let cfg = BenchConfig::simulation();
     let t = no_delay_runtime(&platform, kind, algs[0], bytes, &cfg, 0)
@@ -942,6 +1001,50 @@ mod tests {
         page[0].faults = None;
         page[0].status_quo = 99;
         assert!(replica.ingest_replica(&page).unwrap_err().contains("status-quo"));
+    }
+
+    #[test]
+    fn calibrate_onboards_a_custom_machine() {
+        use pap_calibrate::{synthesize_probe, ProbeConfig};
+        let s = store(32, true);
+        let cfg = ProbeConfig { reps: 1, noise: false, clock_sync: false, ..Default::default() };
+        let probe = synthesize_probe(MachineId::Hydra, "store-onboard", &cfg).unwrap();
+        let req = CalibrateRequest { name: "store-onboard".into(), ranks: 8, probe };
+        let (a, tickets) = s.calibrate(&req).unwrap();
+        assert_eq!(a.machine, "custom:store-onboard");
+        assert!(a.l2_cells > 0);
+        assert_eq!(a.refine_scheduled, tickets.len());
+        assert_eq!(s.l2_len(), a.l2_cells);
+        assert!(a.fit.median_rel_residual < 0.01, "noise-free fit should be tight");
+        // A cold store now answers for the fitted machine straight from L2.
+        let q = QueryRequest { machine: "custom:store-onboard".into(), ..query(1024, None) };
+        let (ans, _) = s.resolve(&q).unwrap();
+        assert_eq!(ans.tier, Tier::L2);
+        assert_eq!(ans.machine, "custom:store-onboard");
+        // Draining one ticket upgrades its cell to sim evidence.
+        s.refine(&tickets[0]);
+        assert_eq!(s.stats().report().tiers.refines_applied, 1);
+    }
+
+    #[test]
+    fn rejected_probe_registers_nothing() {
+        use pap_calibrate::{synthesize_probe, ProbeConfig};
+        let s = store(8, false);
+        let cfg = ProbeConfig { reps: 1, noise: false, clock_sync: false, ..Default::default() };
+        let mut probe = synthesize_probe(MachineId::Hydra, "store-reject", &cfg).unwrap();
+        for obs in &mut probe.ladder {
+            for t in &mut obs.reps {
+                *t = 1e-3; // flat times: zero bandwidth signal
+            }
+        }
+        let req = CalibrateRequest { name: "store-reject".into(), ranks: 8, probe };
+        let err = s.calibrate(&req).unwrap_err();
+        assert!(err.contains("calibration rejected"), "{err}");
+        assert_eq!(s.l2_len(), 0);
+        // The name parses (interned) but the machine has no calibration, so
+        // queries for it stay client errors.
+        let q = QueryRequest { machine: "custom:store-reject".into(), ..query(1024, None) };
+        assert!(s.resolve(&q).unwrap_err().contains("no registered calibration"));
     }
 
     #[test]

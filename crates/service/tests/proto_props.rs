@@ -117,7 +117,7 @@ fn any_stats() -> BoxedStrategy<StatsReport> {
     )
         .prop_map(|((query, stats, ping, shutdown, error), (l1, l2, near, miss), (l2_cells, l1_entries, snapshot_loaded, tuned_at_startup, uptime_s), buckets)| {
             StatsReport {
-                endpoints: EndpointCounters { query, stats, ping, shutdown, error },
+                endpoints: EndpointCounters { query, stats, ping, shutdown, calibrate: ping ^ 1, error },
                 tiers: TierCounters {
                     l1_hits: l1,
                     l2_exact: l2,

@@ -63,7 +63,10 @@ pub use data::{RankSet, Value};
 pub use engine::{run, run_auto, run_par, run_ref, RunOutcome, SimError};
 pub use fault::{FaultSpec, LinkFault, NoiseStorm, RankCrash, RankStall, ANY_NODE};
 pub use noise::NoiseModel;
-pub use platform::{LinkParams, MachineId, Platform};
+pub use platform::{
+    custom_platform_spec, register_custom_platform, CustomTag, LinkParams, MachineId, Platform,
+    PlatformSpec,
+};
 pub use program::{CommDir, CommMeta, Job, Label, Op, RankProgram, Segment};
 pub use time::{secs_to_us, us, SimTime};
 

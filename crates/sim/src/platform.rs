@@ -12,8 +12,17 @@
 //!   *qualitative* regime differences (latency/bandwidth ratio, protocol
 //!   threshold, noise level) that make the three machines disagree about the
 //!   best algorithm are present.
+//!
+//! Beyond the presets, a [`MachineId::Custom`] machine carries parameters
+//! fitted by `pap-calibrate` from a measured probe: its name is interned
+//! process-wide (so `MachineId` stays `Copy + Eq + Hash`) and its
+//! [`PlatformSpec`] lives in a global registry populated by
+//! [`register_custom_platform`].
 
-use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{OnceLock, RwLock};
+
+use serde::{Content, Deserialize, Error as SerdeError, Serialize};
 
 use crate::noise::NoiseModel;
 use crate::time::SimTime;
@@ -35,9 +44,16 @@ impl LinkParams {
     }
 }
 
+/// Opaque interned handle of a [`MachineId::Custom`] machine.
+///
+/// The wrapped index points into the process-global custom-machine registry;
+/// two tags are equal iff they name the same (case-normalized) machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CustomTag(u32);
+
 /// Identifier of a machine preset (used by experiment configs and tuning
 /// tables).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MachineId {
     /// Noise-free simulation platform of §III-A.
     SimCluster,
@@ -47,6 +63,71 @@ pub enum MachineId {
     Galileo100,
     /// Discoverer analogue (1128 nodes, IB HDR Dragonfly+, Table I).
     Discoverer,
+    /// A calibrated machine that is not one of the built-in presets. The tag
+    /// indexes the process-global registry of interned names and fitted
+    /// [`PlatformSpec`]s (see [`register_custom_platform`]).
+    Custom(CustomTag),
+}
+
+/// Interned names and fitted specs of all custom machines seen by this
+/// process. Names are leaked exactly once so `MachineId::name` can keep its
+/// `&'static str` return type; the set of distinct custom names per process
+/// is tiny (one per calibrated machine).
+struct CustomRegistry {
+    /// Full display names (`"custom:<name>"`), indexed by tag.
+    names: Vec<&'static str>,
+    /// Case-normalized bare name → tag index.
+    index: HashMap<String, u32>,
+    /// Fitted parameters, present once the machine has been registered.
+    specs: Vec<Option<PlatformSpec>>,
+}
+
+fn custom_registry() -> &'static RwLock<CustomRegistry> {
+    static REG: OnceLock<RwLock<CustomRegistry>> = OnceLock::new();
+    REG.get_or_init(|| {
+        RwLock::new(CustomRegistry { names: Vec::new(), index: HashMap::new(), specs: Vec::new() })
+    })
+}
+
+/// Largest accepted custom machine name.
+pub const CUSTOM_NAME_MAX: usize = 48;
+
+fn validate_custom_name(name: &str) -> Result<String, String> {
+    let norm = name.trim().to_ascii_lowercase();
+    if norm.is_empty() || norm.len() > CUSTOM_NAME_MAX {
+        return Err(format!("custom machine name must be 1..={CUSTOM_NAME_MAX} characters"));
+    }
+    if !norm.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "._-".contains(c)) {
+        return Err(format!("custom machine name '{norm}' has characters outside [a-z0-9._-]"));
+    }
+    if norm.parse::<MachineId>().map(|m| !m.is_custom()).unwrap_or(false) {
+        return Err(format!("'{norm}' is a built-in preset name"));
+    }
+    Ok(norm)
+}
+
+/// Register (or re-register) the fitted parameters of a custom machine and
+/// return its [`MachineId`]. Re-registering an existing name replaces the
+/// spec in place — recalibration keeps the same tag, so `MachineId` values
+/// held elsewhere stay valid and see the new parameters.
+pub fn register_custom_platform(name: &str, spec: PlatformSpec) -> Result<MachineId, String> {
+    if spec.cores_per_node == 0 || spec.nodes == 0 {
+        return Err("custom platform needs at least one node and one core".into());
+    }
+    let id = MachineId::custom(name)?;
+    let MachineId::Custom(tag) = id else { unreachable!("custom() returns Custom") };
+    custom_registry().write().unwrap().specs[tag.0 as usize] = Some(spec);
+    Ok(id)
+}
+
+/// Fitted parameters of a custom machine, if it has been registered.
+pub fn custom_platform_spec(machine: MachineId) -> Option<PlatformSpec> {
+    match machine {
+        MachineId::Custom(tag) => {
+            custom_registry().read().unwrap().specs.get(tag.0 as usize).cloned().flatten()
+        }
+        _ => None,
+    }
 }
 
 impl MachineId {
@@ -57,13 +138,51 @@ impl MachineId {
     /// The three "real machine" presets of Table I.
     pub const REAL: [MachineId; 3] = [MachineId::Hydra, MachineId::Galileo100, MachineId::Discoverer];
 
-    /// Human-readable name as used in the paper.
+    /// Intern a custom machine name. Names are case-normalized and restricted
+    /// to `[a-z0-9._-]`; interning does not require a registered spec, so
+    /// `"custom:site"` parses (e.g. from a snapshot) before calibration has
+    /// run — [`Platform::try_preset`] reports the missing spec.
+    pub fn custom(name: &str) -> Result<MachineId, String> {
+        let norm = validate_custom_name(name)?;
+        let mut reg = custom_registry().write().unwrap();
+        if let Some(&tag) = reg.index.get(&norm) {
+            return Ok(MachineId::Custom(CustomTag(tag)));
+        }
+        let tag = u32::try_from(reg.names.len()).expect("custom machine registry overflow");
+        let display: &'static str = Box::leak(format!("custom:{norm}").into_boxed_str());
+        reg.names.push(display);
+        reg.specs.push(None);
+        reg.index.insert(norm, tag);
+        Ok(MachineId::Custom(CustomTag(tag)))
+    }
+
+    /// Whether this is a calibrated custom machine (not a built-in preset).
+    pub fn is_custom(self) -> bool {
+        matches!(self, MachineId::Custom(_))
+    }
+
+    /// Stable small integer for seed derivation. Presets keep the values of
+    /// the old unit-only discriminant (`machine as u64`), so benchmark seeds
+    /// are unchanged; custom machines follow after the presets.
+    pub fn seed_tag(self) -> u64 {
+        match self {
+            MachineId::SimCluster => 0,
+            MachineId::Hydra => 1,
+            MachineId::Galileo100 => 2,
+            MachineId::Discoverer => 3,
+            MachineId::Custom(tag) => 4 + tag.0 as u64,
+        }
+    }
+
+    /// Human-readable name as used in the paper. Custom machines render as
+    /// `custom:<name>`, which parses back via [`std::str::FromStr`].
     pub fn name(self) -> &'static str {
         match self {
             MachineId::SimCluster => "SimCluster",
             MachineId::Hydra => "Hydra",
             MachineId::Galileo100 => "Galileo100",
             MachineId::Discoverer => "Discoverer",
+            MachineId::Custom(tag) => custom_registry().read().unwrap().names[tag.0 as usize],
         }
     }
 }
@@ -77,14 +196,121 @@ impl std::fmt::Display for MachineId {
 impl std::str::FromStr for MachineId {
     type Err = String;
     fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(bare) = s.strip_prefix("custom:").or_else(|| s.strip_prefix("Custom:")) {
+            return MachineId::custom(bare);
+        }
         match s.to_ascii_lowercase().as_str() {
             "simcluster" | "sim" => Ok(MachineId::SimCluster),
             "hydra" => Ok(MachineId::Hydra),
             "galileo100" | "galileo" | "g100" => Ok(MachineId::Galileo100),
             "discoverer" | "disco" => Ok(MachineId::Discoverer),
-        other => Err(format!("unknown machine '{other}' (expected simcluster|hydra|galileo100|discoverer)")),
+            other => Err(format!(
+                "unknown machine '{other}' (expected simcluster|hydra|galileo100|discoverer|custom:<name>)"
+            )),
         }
     }
+}
+
+// Manual serde: unit presets serialize exactly as the old derive did (the
+// variant identifier as a string), so existing snapshots and wire frames are
+// unchanged; custom machines serialize as "custom:<name>" strings, which old
+// formats simply never contained.
+impl Serialize for MachineId {
+    fn to_content(&self) -> Content {
+        Content::Str(self.name().to_string())
+    }
+}
+
+impl Deserialize for MachineId {
+    fn from_content(c: &Content) -> Result<Self, SerdeError> {
+        let s = c
+            .as_str()
+            .ok_or_else(|| SerdeError::custom(format!("expected machine name string, found {}", c.kind())))?;
+        s.parse().map_err(SerdeError::custom)
+    }
+}
+
+/// Machine parameters without a rank layout: everything [`Platform::preset`]
+/// knows about a machine except `machine` and `ranks`. This is the unit that
+/// `pap-calibrate` fits from a probe and that the custom-machine registry
+/// stores; [`Platform::from_spec`] instantiates it for a rank count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformSpec {
+    /// Number of compute nodes available at baseline.
+    pub nodes: usize,
+    /// Cores (rank slots) per node.
+    pub cores_per_node: usize,
+    /// Shared-memory (intra-node) link parameters.
+    pub intra: LinkParams,
+    /// Network (inter-node) link parameters.
+    pub inter: LinkParams,
+    /// Messages strictly larger than this use the rendezvous protocol.
+    pub eager_threshold: u64,
+    /// Per-message sender CPU overhead `o_s` (seconds).
+    pub send_overhead: SimTime,
+    /// Per-message receiver CPU overhead `o_r` (seconds).
+    pub recv_overhead: SimTime,
+    /// Local reduction cost per byte (seconds/byte).
+    pub reduce_cost_per_byte: f64,
+    /// Model per-node NIC egress/ingress serialization (contention).
+    pub nic_serialization: bool,
+    /// Default noise model of this machine.
+    pub default_noise: NoiseModel,
+}
+
+fn builtin_spec(machine: MachineId) -> Option<PlatformSpec> {
+    let spec = match machine {
+        MachineId::SimCluster => PlatformSpec {
+            nodes: 32,
+            cores_per_node: 32,
+            intra: LinkParams { latency: 1e-6, bandwidth: 1.25e9 },
+            inter: LinkParams { latency: 2e-6, bandwidth: 1.25e9 },
+            eager_threshold: 16 * 1024,
+            send_overhead: 0.5e-6,
+            recv_overhead: 0.5e-6,
+            reduce_cost_per_byte: 5e-11,
+            nic_serialization: true,
+            default_noise: NoiseModel::None,
+        },
+        MachineId::Hydra => PlatformSpec {
+            nodes: 36,
+            cores_per_node: 32,
+            intra: LinkParams { latency: 0.3e-6, bandwidth: 8.0e9 },
+            inter: LinkParams { latency: 1.1e-6, bandwidth: 12.5e9 },
+            eager_threshold: 16 * 1024,
+            send_overhead: 0.2e-6,
+            recv_overhead: 0.2e-6,
+            reduce_cost_per_byte: 4e-11,
+            nic_serialization: true,
+            default_noise: NoiseModel::gaussian(0.02),
+        },
+        MachineId::Galileo100 => PlatformSpec {
+            nodes: 554,
+            cores_per_node: 48,
+            intra: LinkParams { latency: 0.35e-6, bandwidth: 9.0e9 },
+            inter: LinkParams { latency: 1.0e-6, bandwidth: 12.5e9 },
+            eager_threshold: 64 * 1024,
+            send_overhead: 0.25e-6,
+            recv_overhead: 0.25e-6,
+            reduce_cost_per_byte: 4.5e-11,
+            nic_serialization: true,
+            default_noise: NoiseModel::heavy_tail(0.03, 4.0, 1.5e-3),
+        },
+        MachineId::Discoverer => PlatformSpec {
+            nodes: 1128,
+            cores_per_node: 128,
+            intra: LinkParams { latency: 0.4e-6, bandwidth: 10.0e9 },
+            inter: LinkParams { latency: 1.3e-6, bandwidth: 25.0e9 },
+            eager_threshold: 32 * 1024,
+            send_overhead: 0.3e-6,
+            recv_overhead: 0.3e-6,
+            reduce_cost_per_byte: 5e-11,
+            nic_serialization: true,
+            default_noise: NoiseModel::heavy_tail(0.025, 6.0, 2.0e-3),
+        },
+        MachineId::Custom(_) => return None,
+    };
+    Some(spec)
 }
 
 /// A concrete platform: machine parameters plus the number of MPI ranks laid
@@ -129,71 +355,69 @@ impl Platform {
     /// 10K–100K-rank scale benchmarks and `papctl --ranks`.
     ///
     /// # Panics
-    /// Panics if `ranks` is zero.
+    /// Panics if `ranks` is zero, or if `machine` is a custom machine with no
+    /// registered spec — service paths should use [`Platform::try_preset`].
     pub fn preset(machine: MachineId, ranks: usize) -> Self {
-        let mut p = match machine {
-            MachineId::SimCluster => Self {
-                machine,
-                nodes: 32,
-                cores_per_node: 32,
-                ranks,
-                intra: LinkParams { latency: 1e-6, bandwidth: 1.25e9 },
-                inter: LinkParams { latency: 2e-6, bandwidth: 1.25e9 },
-                eager_threshold: 16 * 1024,
-                send_overhead: 0.5e-6,
-                recv_overhead: 0.5e-6,
-                reduce_cost_per_byte: 5e-11,
-                nic_serialization: true,
-                default_noise: NoiseModel::None,
-            },
-            MachineId::Hydra => Self {
-                machine,
-                nodes: 36,
-                cores_per_node: 32,
-                ranks,
-                intra: LinkParams { latency: 0.3e-6, bandwidth: 8.0e9 },
-                inter: LinkParams { latency: 1.1e-6, bandwidth: 12.5e9 },
-                eager_threshold: 16 * 1024,
-                send_overhead: 0.2e-6,
-                recv_overhead: 0.2e-6,
-                reduce_cost_per_byte: 4e-11,
-                nic_serialization: true,
-                default_noise: NoiseModel::gaussian(0.02),
-            },
-            MachineId::Galileo100 => Self {
-                machine,
-                nodes: 554,
-                cores_per_node: 48,
-                ranks,
-                intra: LinkParams { latency: 0.35e-6, bandwidth: 9.0e9 },
-                inter: LinkParams { latency: 1.0e-6, bandwidth: 12.5e9 },
-                eager_threshold: 64 * 1024,
-                send_overhead: 0.25e-6,
-                recv_overhead: 0.25e-6,
-                reduce_cost_per_byte: 4.5e-11,
-                nic_serialization: true,
-                default_noise: NoiseModel::heavy_tail(0.03, 4.0, 1.5e-3),
-            },
-            MachineId::Discoverer => Self {
-                machine,
-                nodes: 1128,
-                cores_per_node: 128,
-                ranks,
-                intra: LinkParams { latency: 0.4e-6, bandwidth: 10.0e9 },
-                inter: LinkParams { latency: 1.3e-6, bandwidth: 25.0e9 },
-                eager_threshold: 32 * 1024,
-                send_overhead: 0.3e-6,
-                recv_overhead: 0.3e-6,
-                reduce_cost_per_byte: 5e-11,
-                nic_serialization: true,
-                default_noise: NoiseModel::heavy_tail(0.025, 6.0, 2.0e-3),
-            },
-        };
-        assert!(ranks > 0, "platform needs at least one rank");
-        if ranks > p.nodes * p.cores_per_node {
-            p.nodes = ranks.div_ceil(p.cores_per_node);
+        Self::try_preset(machine, ranks).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Platform::preset`]: custom machines resolve through
+    /// the registry and report a missing calibration instead of panicking.
+    pub fn try_preset(machine: MachineId, ranks: usize) -> Result<Self, String> {
+        if ranks == 0 {
+            return Err("platform needs at least one rank".into());
         }
-        p
+        let spec = match builtin_spec(machine) {
+            Some(spec) => spec,
+            None => custom_platform_spec(machine).ok_or_else(|| {
+                format!("machine '{}' has no registered calibration (run `papctl calibrate` or send a Calibrate frame first)", machine.name())
+            })?,
+        };
+        Ok(Self::from_spec(machine, &spec, ranks))
+    }
+
+    /// Instantiate a [`PlatformSpec`] for `ranks` ranks, applying the same
+    /// scale-out rule as [`Platform::preset`].
+    ///
+    /// # Panics
+    /// Panics if `ranks` is zero.
+    pub fn from_spec(machine: MachineId, spec: &PlatformSpec, ranks: usize) -> Self {
+        assert!(ranks > 0, "platform needs at least one rank");
+        let mut nodes = spec.nodes;
+        if ranks > nodes * spec.cores_per_node {
+            nodes = ranks.div_ceil(spec.cores_per_node);
+        }
+        Platform {
+            machine,
+            nodes,
+            cores_per_node: spec.cores_per_node,
+            ranks,
+            intra: spec.intra,
+            inter: spec.inter,
+            eager_threshold: spec.eager_threshold,
+            send_overhead: spec.send_overhead,
+            recv_overhead: spec.recv_overhead,
+            reduce_cost_per_byte: spec.reduce_cost_per_byte,
+            nic_serialization: spec.nic_serialization,
+            default_noise: spec.default_noise,
+        }
+    }
+
+    /// The machine parameters of this platform, without the rank layout
+    /// (inverse of [`Platform::from_spec`] up to the scale-out rule).
+    pub fn spec(&self) -> PlatformSpec {
+        PlatformSpec {
+            nodes: self.nodes,
+            cores_per_node: self.cores_per_node,
+            intra: self.intra,
+            inter: self.inter,
+            eager_threshold: self.eager_threshold,
+            send_overhead: self.send_overhead,
+            recv_overhead: self.recv_overhead,
+            reduce_cost_per_byte: self.reduce_cost_per_byte,
+            nic_serialization: self.nic_serialization,
+            default_noise: self.default_noise,
+        }
     }
 
     /// The noise-free simulation platform of §III-A with `ranks` ranks.
@@ -334,5 +558,90 @@ mod tests {
         assert_eq!(back.machine, p.machine);
         assert_eq!(back.ranks, p.ranks);
         assert_eq!(back.eager_threshold, p.eager_threshold);
+    }
+
+    #[test]
+    fn machine_id_wire_form_is_the_preset_name_string() {
+        // The old derived serde encoded unit variants as their identifier
+        // string; the manual impl must keep that byte-identical so existing
+        // snapshots load.
+        for m in MachineId::ALL {
+            let s = serde_json::to_string(&m).unwrap();
+            assert_eq!(s, format!("\"{}\"", m.name()));
+        }
+        let back: MachineId = serde_json::from_str("\"Galileo100\"").unwrap();
+        assert_eq!(back, MachineId::Galileo100);
+    }
+
+    #[test]
+    fn custom_machine_interns_and_round_trips() {
+        use std::str::FromStr;
+        let a = MachineId::custom("SiteA").unwrap();
+        let b = MachineId::custom("sitea").unwrap();
+        assert_eq!(a, b, "names are case-normalized before interning");
+        assert_eq!(a.name(), "custom:sitea");
+        assert!(a.is_custom());
+        assert_eq!(MachineId::from_str("custom:sitea").unwrap(), a);
+        // Serde round-trip as a plain string.
+        let s = serde_json::to_string(&a).unwrap();
+        assert_eq!(s, "\"custom:sitea\"");
+        let back: MachineId = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, a);
+        // Distinct names get distinct tags.
+        let c = MachineId::custom("siteb").unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn custom_names_are_validated() {
+        assert!(MachineId::custom("").is_err());
+        assert!(MachineId::custom("has space").is_err());
+        assert!(MachineId::custom("hydra").is_err(), "preset names are reserved");
+        assert!(MachineId::custom(&"x".repeat(CUSTOM_NAME_MAX + 1)).is_err());
+        assert!(MachineId::custom("ok-name_1.2").is_ok());
+    }
+
+    #[test]
+    fn unregistered_custom_machine_fails_try_preset() {
+        let m = MachineId::custom("never-registered").unwrap();
+        let err = Platform::try_preset(m, 8).unwrap_err();
+        assert!(err.contains("no registered calibration"), "{err}");
+    }
+
+    #[test]
+    fn registered_custom_machine_builds_platforms() {
+        let spec = PlatformSpec { nodes: 4, cores_per_node: 8, ..Platform::hydra(1).spec() };
+        let m = register_custom_platform("reg-test", spec.clone()).unwrap();
+        let p = Platform::try_preset(m, 16).unwrap();
+        assert_eq!(p.machine, m);
+        assert_eq!(p.cores_per_node, 8);
+        assert_eq!(p.nodes, 4);
+        assert_eq!(p.intra, spec.intra);
+        // Scale-out rule applies to custom machines too.
+        let big = Platform::preset(m, 1000);
+        assert_eq!(big.nodes, 125);
+        // Re-registration replaces the spec under the same tag.
+        let spec2 = PlatformSpec { eager_threshold: 999, ..spec };
+        let m2 = register_custom_platform("reg-test", spec2).unwrap();
+        assert_eq!(m, m2);
+        assert_eq!(Platform::preset(m, 2).eager_threshold, 999);
+    }
+
+    #[test]
+    fn spec_round_trips_through_from_spec() {
+        for m in MachineId::ALL {
+            let p = Platform::preset(m, 8);
+            let rebuilt = Platform::from_spec(m, &p.spec(), 8);
+            assert_eq!(rebuilt.eager_threshold, p.eager_threshold);
+            assert_eq!(rebuilt.intra, p.intra);
+            assert_eq!(rebuilt.inter, p.inter);
+            assert_eq!(rebuilt.nodes, p.nodes);
+        }
+        // PlatformSpec itself serde round-trips (it is the calibration
+        // artifact format).
+        let spec = Platform::discoverer(4).spec();
+        let s = serde_json::to_string(&spec).unwrap();
+        let back: PlatformSpec = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, spec);
     }
 }

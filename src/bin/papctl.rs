@@ -13,6 +13,9 @@
 //! papctl query <machine> <collective> <bytes> --addr HOST:PORT [--ranks N]
 //!              [--arrivals d0,d1,…] [--json]
 //! papctl query --addr HOST:PORT {--stats|--metrics|--ping|--shutdown}
+//! papctl calibrate {--from <preset> | --probe-json FILE} [--name N] [--ranks N]
+//!                  [--reps N] [--no-noise] [--out FILE] [--check] [--json]
+//!                  [--addr HOST:PORT]
 //! papctl fleet serve [--shards N] [serve flags]
 //! papctl fleet query <machine> <collective> <bytes> --addrs A1,A2,… [--ranks N] [--json]
 //! papctl fleet stats --addrs A1,A2,… [--json]
@@ -68,10 +71,14 @@ use pap::microbench::{
     calibrate_avg_runtime, fault_sweep, measure, profile_with_faults, standard_grid, sweep,
     Backend, BenchConfig, SkewPolicy,
 };
+use pap::calibrate::{fit_probe, selection_agreement, synthesize_probe, Probe, ProbeConfig, CHECK_RANKS};
 use pap::service::{
     measure_fault_matrix, Client, DefaultPolicy, QueryRequest, ServeConfig, Server, Snapshot,
 };
-use pap::sim::{run_ref, FaultSpec, Job, MachineId, Platform, RankProgram, SimConfig, SimError};
+use pap::sim::{
+    register_custom_platform, run_ref, FaultSpec, Job, MachineId, Platform, RankProgram, SimConfig,
+    SimError,
+};
 use pap::tracer::{ideal_observer, CollectiveTrace, TracerConfig};
 
 struct Args {
@@ -163,6 +170,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&args),
         "fleet" => cmd_fleet(&args),
         "query" => cmd_query(&args),
+        "calibrate" => cmd_calibrate(&args),
         "ft" => cmd_ft(&args),
         "trace" => cmd_trace(&args),
         "lint" => cmd_lint(&args),
@@ -185,7 +193,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: papctl <machines|algorithms|pattern|bench|sweep|tune|profile|serve|fleet|query|ft|trace|lint|repair|help> …
+const USAGE: &str = "usage: papctl <machines|algorithms|pattern|bench|sweep|tune|profile|serve|fleet|query|calibrate|ft|trace|lint|repair|help> …
 global flags: --threads N   worker threads for sweep/tune fan-out
                             (default: PAP_THREADS env, else all cores; 1 = sequential);
                             for `serve`, also the connection-pool size
@@ -223,6 +231,19 @@ query flags: --addr A       daemon address (required; printed by `papctl serve`)
              --arrivals CSV per-rank arrival samples, e.g. 0,0.2,1.5e-3
              --json         print the raw answer/stats JSON
              --stats | --metrics | --ping | --shutdown   control endpoints (no positionals)
+calibrate flags: --from M    synthesize the probe from preset M (treated as the
+                            machine under test; noise and clock skew enabled)
+             --probe-json F  load a measured probe from FILE instead
+             --name N        register the fit as custom:N
+                            (default: fit-<preset>, or the probe's own name)
+             --ranks N       rank count the daemon pre-tunes at (with --addr)
+             --reps N        probe repetitions per point (default 7)
+             --no-noise      synthesize without the preset's noise model
+             --out FILE      write the full fit report (parameters + residuals) as JSON
+             --check         closed-loop validation: compare selection fitted-vs-true
+                            over the Fig. 4 grid (needs --from)
+             --addr A        send the probe to a running papd (it fits, registers
+                            custom:N, and publishes a model-backed L2 grid)
 fleet:       serve [--shards N] [serve flags]  N event-driven shards; shard 0
                             seeds per the serve flags, the rest warm-replicate
                             its L2 evidence over the wire before accepting
@@ -650,7 +671,7 @@ fn cmd_fleet(args: &Args) -> Result<(), String> {
                 println!("{}", serde_json::to_string_pretty(&answer).map_err(|e| e.to_string())?);
             } else {
                 println!(
-                    "{} {} B on {} ({} ranks) via shard {}: use A{}  [policy {}; tier {}]",
+                    "{} {} B on {} ({} ranks) via shard {}: use A{}  [policy {}; served from {}]",
                     answer.collective,
                     answer.bytes,
                     answer.machine,
@@ -658,7 +679,7 @@ fn cmd_fleet(args: &Args) -> Result<(), String> {
                     shard,
                     answer.alg,
                     answer.policy,
-                    answer.tier.label(),
+                    answer.tier.describe(),
                 );
             }
             Ok(())
@@ -745,7 +766,7 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     } else {
         println!(
             "{} {} B on {} ({} ranks): use A{}  [policy {}; pattern {} (sim {:.2}); \
-             tier {}; evidence {} B via {} gen {}{}]",
+             served from {}; evidence {} B via {} gen {}{}]",
             answer.collective,
             answer.bytes,
             answer.machine,
@@ -754,12 +775,125 @@ fn cmd_query(args: &Args) -> Result<(), String> {
             answer.policy,
             answer.pattern,
             answer.similarity,
-            answer.tier.label(),
+            answer.tier.describe(),
             answer.evidence_bytes,
             answer.backend,
             answer.generation,
             if answer.refine_scheduled { "; sim refinement scheduled" } else { "" },
         );
+    }
+    Ok(())
+}
+
+/// `papctl calibrate`: onboard an unseen machine. Synthesize (or load) a
+/// probe, fit the platform parameters, and either register the fit locally
+/// (optionally writing the report and running the closed-loop
+/// selection-agreement check) or send the probe to a running daemon, which
+/// fits and starts serving the machine online.
+fn cmd_calibrate(args: &Args) -> Result<(), String> {
+    let from: Option<MachineId> = match args.opt("from") {
+        Some(m) => Some(m.parse()?),
+        None => None,
+    };
+    let probe: Probe = if let Some(path) = args.opt("probe-json") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        Probe::from_json(&text)?
+    } else if let Some(machine) = from {
+        let defaults = ProbeConfig::default();
+        let cfg = ProbeConfig {
+            reps: args.flag("reps", defaults.reps),
+            seed: args.flag("seed", defaults.seed),
+            noise: !args.has("no-noise"),
+            ..defaults
+        };
+        let name = args.flag("name", format!("fit-{}", machine.name().to_ascii_lowercase()));
+        synthesize_probe(machine, &name, &cfg)?
+    } else {
+        return Err(
+            "calibrate needs --from <preset> (synthesize a probe) or --probe-json FILE".to_string()
+        );
+    };
+    let name = args.flag("name", probe.name.clone());
+
+    if let Some(addr) = args.opt("addr") {
+        // Online path: the daemon fits, registers, and publishes L2
+        // evidence, so queries for custom:<name> answer immediately.
+        let mut client = Client::connect(addr)?;
+        let a = client.calibrate(&name, args.flag("ranks", 16usize), probe)?;
+        println!(
+            "{}: fit accepted (median residual {:.2}%), {} L2 cells published, \
+             {} sim refinement(s) scheduled",
+            a.machine,
+            a.fit.median_rel_residual * 100.0,
+            a.l2_cells,
+            a.refine_scheduled,
+        );
+        return Ok(());
+    }
+
+    let fit = fit_probe(&probe).map_err(|e| format!("calibration rejected: {e}"))?;
+    let spec = &fit.spec;
+    // In --json mode stdout carries exactly one JSON document (the agreement
+    // report under --check, the fit report otherwise), so scripts can pipe
+    // straight into jq.
+    if !args.has("json") {
+        println!(
+            "fitted custom:{name} from {} observation(s): median residual {:.2}%, max {:.2}%, \
+             collective cross-check {:.2}%",
+            fit.observations,
+            fit.median_rel_residual * 100.0,
+            fit.max_rel_residual * 100.0,
+            fit.collective_rel_err * 100.0,
+        );
+        println!(
+            "  intra {:.2} us / {:.1} GB/s   inter {:.2} us / {:.1} GB/s   eager {} B   \
+             overhead {:.2} us   nic serialized: {}",
+            spec.intra.latency * 1e6,
+            spec.intra.bandwidth / 1e9,
+            spec.inter.latency * 1e6,
+            spec.inter.bandwidth / 1e9,
+            spec.eager_threshold,
+            (spec.send_overhead + spec.recv_overhead) * 1e6,
+            spec.nic_serialization,
+        );
+    }
+    if let Some(path) = args.opt("out") {
+        std::fs::write(path, serde_json::to_string_pretty(&fit).map_err(|e| e.to_string())?)
+            .map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote fit report {path}");
+    }
+    let machine = register_custom_platform(&name, fit.spec.clone())?;
+    if args.has("check") {
+        let truth =
+            from.ok_or("--check compares against the probed preset; it needs --from <preset>")?;
+        let report = selection_agreement(truth, machine, CHECK_RANKS)?;
+        if args.has("json") {
+            println!("{}", serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?);
+            return Ok(());
+        }
+        println!("{:<22} {:>13} {:>13} {:>8}", "parameter", "true", "fitted", "rel_err");
+        for p in &report.params {
+            println!(
+                "{:<22} {:>13.4e} {:>13.4e} {:>8.4}",
+                p.name, p.true_value, p.fitted_value, p.rel_err
+            );
+        }
+        for c in report.cells.iter().filter(|c| !c.agrees()) {
+            println!(
+                "disagrees: {} @ {} B under {}: true A{} vs fitted A{}",
+                c.kind, c.bytes, c.policy, c.true_pick, c.fitted_pick
+            );
+        }
+        let agreeing = report.cells.iter().filter(|c| c.agrees()).count();
+        println!(
+            "selection agreement vs {}: {:.1}% ({agreeing}/{} cells at {} ranks)",
+            report.machine,
+            report.agreement * 100.0,
+            report.cells.len(),
+            report.ranks,
+        );
+    } else if args.has("json") {
+        println!("{}", serde_json::to_string_pretty(&fit).map_err(|e| e.to_string())?);
     }
     Ok(())
 }

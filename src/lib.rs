@@ -23,6 +23,9 @@
 //! * [`apps`] — NAS-FT proxy and other mini-apps
 //! * [`core`] — the paper's contribution: robustness analysis and
 //!   arrival-aware algorithm selection
+//! * [`calibrate`] — online platform calibration (`papctl calibrate`):
+//!   fit LogGP/eager/rendezvous parameters from a measured probe and
+//!   onboard machines the toolkit has never seen
 //! * [`obs`] — low-overhead observability: atomic-gated span tracing,
 //!   unified metrics registry, Perfetto (Chrome Trace Event) export
 //!   (`papctl profile`, `--metrics`)
@@ -45,6 +48,7 @@
 
 pub use pap_apps as apps;
 pub use pap_arrival as arrival;
+pub use pap_calibrate as calibrate;
 pub use pap_clocksync as clocksync;
 pub use pap_collectives as collectives;
 pub use pap_core as core;
